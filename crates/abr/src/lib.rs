@@ -1,0 +1,27 @@
+//! # vmp-abr — bitrate adaptation and access-network models
+//!
+//! The control plane the paper distinguishes from the management plane (§1):
+//! given the ladder the management plane *chose*, the control plane picks a
+//! bitrate per chunk based on network conditions. §6 shows that ladder
+//! choices translate into QoE differences (Fig 15/16), so reproducing those
+//! figures needs a working ABR loop over realistic bandwidth processes.
+//!
+//! * [`network`] — Markov-modulated bandwidth models per connection type
+//!   (WiFi / 4G / wired) and ISP quality, with per-chunk throughput samples
+//!   and RTTs.
+//! * [`predict`] — throughput predictors (EWMA and harmonic mean), the two
+//!   estimators classic rate-based ABR uses.
+//! * [`algorithm`] — three ABR families from the paper's citations:
+//!   rate-based with a safety factor, buffer-based (BBA-style), and a
+//!   BOLA-style utility maximizer.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algorithm;
+pub mod network;
+pub mod predict;
+
+pub use algorithm::{AbrAlgorithm, AbrState, Bba, Bola, ThroughputRule};
+pub use network::{NetworkModel, NetworkProfile};
+pub use predict::{EwmaPredictor, HarmonicMeanPredictor, ThroughputPredictor};

@@ -1,0 +1,210 @@
+//! §5: management-complexity measures and their correlation with publisher
+//! view-hours.
+//!
+//! Three measures, each fit in log10–log10 space against view-hours:
+//!
+//! * **Management-plane combinations** — distinct (CDN, protocol, device)
+//!   triples observed for the publisher (failure-triaging search space);
+//!   paper slope: 1.72× per 10× view-hours.
+//! * **Protocol-titles** — titles × protocols (packaging workload);
+//!   paper slope: 3.8×.
+//! * **Unique SDKs** — distinct player code bases: (SDK, version) pairs
+//!   plus browsers (software maintenance); paper slope: 1.8×, max ≈85.
+
+use std::collections::{BTreeMap, BTreeSet};
+use vmp_core::ids::PublisherId;
+use vmp_core::time::SnapshotId;
+use vmp_core::view::PlayerIdentity;
+use vmp_stats::regress::{ols_log_log, OlsFit};
+
+use crate::store::ViewStore;
+
+/// Which complexity measure to compute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ComplexityMeasure {
+    /// Distinct (CDN, protocol, device-model) combinations.
+    Combinations,
+    /// Distinct video titles × distinct protocols.
+    ProtocolTitles,
+    /// Distinct player code bases (SDK+version, or browser user-agent
+    /// family).
+    UniqueSdks,
+}
+
+impl ComplexityMeasure {
+    /// Paper-reported growth factor per 10× view-hours, for EXPERIMENTS.md
+    /// comparisons.
+    pub const fn paper_growth_per_decade(self) -> f64 {
+        match self {
+            ComplexityMeasure::Combinations => 1.72,
+            ComplexityMeasure::ProtocolTitles => 3.8,
+            ComplexityMeasure::UniqueSdks => 1.8,
+        }
+    }
+}
+
+/// One scatter point of Fig 13.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComplexityPoint {
+    /// The publisher.
+    pub publisher: PublisherId,
+    /// Its view-hours in the snapshot (x-axis).
+    pub view_hours: f64,
+    /// The complexity measure (y-axis).
+    pub complexity: f64,
+}
+
+/// Computes the scatter for one measure at one snapshot.
+///
+/// `titles_of`: the publisher's catalogue size (the paper uses the count of
+/// distinct video IDs, an *under-estimate* where coverage is partial; we
+/// accept a callback so callers can supply either the observed count or the
+/// management-plane figure).
+pub fn complexity_points(
+    store: &ViewStore,
+    snapshot: SnapshotId,
+    measure: ComplexityMeasure,
+    titles_of: &dyn Fn(PublisherId) -> u64,
+) -> Vec<ComplexityPoint> {
+    #[derive(Default)]
+    struct Acc {
+        vh: f64,
+        combos: BTreeSet<(u32, u8, String)>,
+        protocols: BTreeSet<u8>,
+        players: BTreeSet<String>,
+    }
+    let mut acc: BTreeMap<PublisherId, Acc> = BTreeMap::new();
+    for v in store.at(snapshot) {
+        let entry = acc.entry(v.view.record.publisher).or_default();
+        entry.vh += v.hours();
+        let proto_tag = v.protocol.map(|p| p as u8).unwrap_or(u8::MAX);
+        entry.protocols.insert(proto_tag);
+        for cdn in &v.view.record.cdns {
+            entry.combos.insert((
+                cdn.raw(),
+                proto_tag,
+                v.view.record.device.model_string().to_string(),
+            ));
+        }
+        let player_key = match &v.view.record.player {
+            PlayerIdentity::Sdk(build) => format!("{build}"),
+            // Browser views: the code base is the player *family* (HTML5 /
+            // Flash / Silverlight player), not each UA version string.
+            PlayerIdentity::UserAgent(ua) => {
+                ua.split('/').next().unwrap_or(ua).to_string()
+            }
+        };
+        entry.players.insert(player_key);
+    }
+    acc.into_iter()
+        .map(|(publisher, a)| {
+            let complexity = match measure {
+                ComplexityMeasure::Combinations => a.combos.len() as f64,
+                ComplexityMeasure::ProtocolTitles => {
+                    (titles_of(publisher) * a.protocols.len() as u64) as f64
+                }
+                ComplexityMeasure::UniqueSdks => a.players.len() as f64,
+            };
+            ComplexityPoint { publisher, view_hours: a.vh, complexity }
+        })
+        .collect()
+}
+
+/// The Fig 13 log-log fit over a scatter.
+pub fn complexity_fit(points: &[ComplexityPoint]) -> Result<OlsFit, String> {
+    let xs: Vec<f64> = points.iter().map(|p| p.view_hours).collect();
+    let ys: Vec<f64> = points.iter().map(|p| p.complexity).collect();
+    let (fit, _) = ols_log_log(&xs, &ys)?;
+    Ok(fit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::tests::test_view;
+    use vmp_core::ids::CdnId;
+
+    fn synthetic_scatter(slope: f64, n: usize) -> Vec<ComplexityPoint> {
+        (1..=n)
+            .map(|i| {
+                let vh = 10f64.powf(i as f64 / 10.0) * 100.0;
+                ComplexityPoint {
+                    publisher: PublisherId::new(i as u32),
+                    view_hours: vh,
+                    complexity: 2.0 * (vh / 100.0).powf(slope),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fit_recovers_planted_slope() {
+        // 10^0.236 ≈ 1.72 — the paper's combinations slope.
+        let points = synthetic_scatter(0.236, 50);
+        let fit = complexity_fit(&points).unwrap();
+        assert!((fit.growth_per_decade() - 1.72).abs() < 0.02);
+        assert!(fit.p_value < 1e-9);
+    }
+
+    #[test]
+    fn combinations_count_distinct_triples() {
+        let mut v1 = test_view(0, 0, "https://h/p/a.m3u8", 1.0, 1.0);
+        v1.record.cdns = vec![CdnId::new(0), CdnId::new(1)];
+        let v2 = test_view(0, 0, "https://h/p/a.mpd", 1.0, 1.0);
+        let store = ViewStore::ingest(vec![v1, v2]);
+        let pts = complexity_points(
+            &store,
+            SnapshotId::FIRST,
+            ComplexityMeasure::Combinations,
+            &|_| 1,
+        );
+        assert_eq!(pts.len(), 1);
+        // (cdn0, HLS, Roku), (cdn1, HLS, Roku), (cdn0, DASH, Roku).
+        assert_eq!(pts[0].complexity, 3.0);
+    }
+
+    #[test]
+    fn protocol_titles_multiplies() {
+        let store = ViewStore::ingest(vec![
+            test_view(0, 0, "https://h/p/a.m3u8", 1.0, 1.0),
+            test_view(0, 0, "https://h/p/a.mpd", 1.0, 1.0),
+        ]);
+        let pts = complexity_points(
+            &store,
+            SnapshotId::FIRST,
+            ComplexityMeasure::ProtocolTitles,
+            &|_| 500,
+        );
+        assert_eq!(pts[0].complexity, 1000.0);
+    }
+
+    #[test]
+    fn unique_sdks_counts_distinct_players() {
+        use vmp_core::sdk::{PlayerBuild, SdkKind, SdkVersion};
+        let mut v1 = test_view(0, 0, "https://h/p/a.m3u8", 1.0, 1.0);
+        v1.record.player = PlayerIdentity::Sdk(PlayerBuild::new(
+            SdkKind::RokuSceneGraph,
+            SdkVersion::new(7, 0),
+        ));
+        let mut v2 = test_view(0, 0, "https://h/p/a.m3u8", 1.0, 1.0);
+        v2.record.player = PlayerIdentity::Sdk(PlayerBuild::new(
+            SdkKind::RokuSceneGraph,
+            SdkVersion::new(7, 1),
+        ));
+        let mut v3 = v2.clone();
+        v3.record.player = PlayerIdentity::Sdk(PlayerBuild::new(
+            SdkKind::RokuSceneGraph,
+            SdkVersion::new(7, 1),
+        ));
+        let store = ViewStore::ingest(vec![v1, v2, v3]);
+        let pts =
+            complexity_points(&store, SnapshotId::FIRST, ComplexityMeasure::UniqueSdks, &|_| 1);
+        assert_eq!(pts[0].complexity, 2.0);
+    }
+
+    #[test]
+    fn fit_requires_enough_points() {
+        assert!(complexity_fit(&synthetic_scatter(0.3, 2)).is_err());
+        assert!(complexity_fit(&[]).is_err());
+    }
+}

@@ -1,0 +1,33 @@
+//! # vmp-analytics — the streaming-telemetry measurement plane
+//!
+//! The Conviva-backend equivalent: ingest per-view records, derive the
+//! dimensions the paper studies, and run every §4–§5 analysis.
+//!
+//! Faithfulness notes:
+//! * **Protocol is inferred, never trusted.** The store derives the
+//!   protocol from the manifest URL extension at ingest (Table 1), exactly
+//!   as §3 describes — the generator's intent is invisible here.
+//! * **Weighted samples.** Every aggregate sums sampling weights (view
+//!   counts) and `weight × hours` (view-hours), so a scaled-down sample
+//!   reproduces population statistics unbiasedly.
+//!
+//! Modules: [`store`] (ingest + snapshot indexing), [`query`] (generic
+//! weighted share/count aggregations), [`perpub`] (counts-per-publisher
+//! distributions, view-hour bucketing, weighted averages over time),
+//! [`complexity`] (§5 metrics and log-log fits), [`report`] (plain-text
+//! table/series rendering used by the `repro` binary and EXPERIMENTS.md).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod complexity;
+pub mod perpub;
+pub mod query;
+pub mod report;
+pub mod store;
+
+pub use complexity::{complexity_fit, ComplexityMeasure, ComplexityPoint};
+pub use perpub::{count_histogram, counts_by_size_bucket, counts_per_publisher, CountsOverTime};
+pub use query::{publisher_share_by, vh_share_by, views_share_by};
+pub use report::{Series, Table};
+pub use store::{ViewRef, ViewStore};

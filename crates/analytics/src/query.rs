@@ -1,0 +1,266 @@
+//! Generic weighted aggregations over view samples.
+//!
+//! Every §4 figure is one of three shapes:
+//! 1. *share of view-hours* by a dimension ([`vh_share_by`], Fig 2(b),
+//!    6(a), 10, 11(b));
+//! 2. *share of views* by a dimension ([`views_share_by`], Fig 6(c));
+//! 3. *share of publishers supporting* a dimension value
+//!    ([`publisher_share_by`], Fig 2(a), 7, 11(a)).
+//!
+//! A view may carry several values of one dimension (chunks of one view can
+//! come from multiple CDNs, §3 footnote 4); its weight is split equally
+//! among them for the share computations, while publisher support counts
+//! every value.
+
+use std::collections::{BTreeMap, BTreeSet};
+use vmp_core::cdn::CdnName;
+use vmp_core::device::DeviceModel;
+use vmp_core::ids::PublisherId;
+use vmp_core::platform::{BrowserTech, Platform};
+use vmp_core::protocol::StreamingProtocol;
+
+use crate::store::ViewRef;
+
+/// Percentage (0–100) of total view-hours per dimension value.
+pub fn vh_share_by<'a, V: Ord + Clone>(
+    views: impl Iterator<Item = ViewRef<'a>>,
+    extract: impl Fn(&ViewRef<'a>) -> Vec<V>,
+) -> BTreeMap<V, f64> {
+    share_by(views, extract, |v| v.hours())
+}
+
+/// Percentage (0–100) of total views per dimension value.
+pub fn views_share_by<'a, V: Ord + Clone>(
+    views: impl Iterator<Item = ViewRef<'a>>,
+    extract: impl Fn(&ViewRef<'a>) -> Vec<V>,
+) -> BTreeMap<V, f64> {
+    share_by(views, extract, |v| v.count())
+}
+
+fn share_by<'a, V: Ord + Clone>(
+    views: impl Iterator<Item = ViewRef<'a>>,
+    extract: impl Fn(&ViewRef<'a>) -> Vec<V>,
+    measure: impl Fn(&ViewRef<'a>) -> f64,
+) -> BTreeMap<V, f64> {
+    let mut totals: BTreeMap<V, f64> = BTreeMap::new();
+    let mut grand_total = 0.0f64;
+    for v in views {
+        let m = measure(&v);
+        grand_total += m;
+        let values = extract(&v);
+        if values.is_empty() {
+            continue;
+        }
+        let split = m / values.len() as f64;
+        for value in values {
+            *totals.entry(value).or_insert(0.0) += split;
+        }
+    }
+    if grand_total > 0.0 {
+        for t in totals.values_mut() {
+            *t = 100.0 * *t / grand_total;
+        }
+    }
+    totals
+}
+
+/// Percentage (0–100) of publishers "supporting" each dimension value: a
+/// publisher supports a value when at least `min_traffic_share` of its
+/// view-hours carry it (a small floor filters out one-off fallbacks).
+pub fn publisher_share_by<'a, V: Ord + Clone>(
+    views: impl Iterator<Item = ViewRef<'a>> + Clone,
+    extract: impl Fn(&ViewRef<'a>) -> Vec<V>,
+    min_traffic_share: f64,
+) -> BTreeMap<V, f64> {
+    let per_pub = per_publisher_values(views, extract, min_traffic_share);
+    let n = per_pub.len();
+    let mut counts: BTreeMap<V, usize> = BTreeMap::new();
+    for (_, (values, _)) in per_pub {
+        for v in values {
+            *counts.entry(v).or_insert(0) += 1;
+        }
+    }
+    counts
+        .into_iter()
+        .map(|(v, c)| (v, if n > 0 { 100.0 * c as f64 / n as f64 } else { 0.0 }))
+        .collect()
+}
+
+/// Per-publisher supported value sets and total view-hours.
+///
+/// Returns `publisher → (values with ≥ min_traffic_share of the publisher's
+/// view-hours, total view-hours)`.
+pub fn per_publisher_values<'a, V: Ord + Clone>(
+    views: impl Iterator<Item = ViewRef<'a>>,
+    extract: impl Fn(&ViewRef<'a>) -> Vec<V>,
+    min_traffic_share: f64,
+) -> BTreeMap<PublisherId, (BTreeSet<V>, f64)> {
+    let mut per_pub: BTreeMap<PublisherId, (BTreeMap<V, f64>, f64)> = BTreeMap::new();
+    for v in views {
+        let hours = v.hours();
+        let entry = per_pub.entry(v.view.record.publisher).or_default();
+        entry.1 += hours;
+        let values = extract(&v);
+        if values.is_empty() {
+            continue;
+        }
+        let split = hours / values.len() as f64;
+        for value in values {
+            *entry.0.entry(value).or_insert(0.0) += split;
+        }
+    }
+    per_pub
+        .into_iter()
+        .map(|(publisher, (values, total))| {
+            let kept: BTreeSet<V> = values
+                .into_iter()
+                .filter(|(_, h)| total > 0.0 && *h / total >= min_traffic_share)
+                .map(|(v, _)| v)
+                .collect();
+            (publisher, (kept, total))
+        })
+        .collect()
+}
+
+/// Per-publisher share (0–100) of view-hours carried by one dimension value
+/// — the Fig 4 CDF input (only publishers supporting the value appear).
+pub fn per_publisher_value_share<'a, V: Ord + Clone>(
+    views: impl Iterator<Item = ViewRef<'a>>,
+    extract: impl Fn(&ViewRef<'a>) -> Vec<V>,
+    value: &V,
+) -> Vec<f64> {
+    let mut per_pub: BTreeMap<PublisherId, (f64, f64)> = BTreeMap::new();
+    for v in views {
+        let hours = v.hours();
+        let entry = per_pub.entry(v.view.record.publisher).or_default();
+        entry.1 += hours;
+        let values = extract(&v);
+        if values.is_empty() {
+            continue;
+        }
+        let split = hours / values.len() as f64;
+        if values.contains(value) {
+            entry.0 += split;
+        }
+    }
+    per_pub
+        .values()
+        .filter(|(with, total)| *total > 0.0 && *with > 0.0)
+        .map(|(with, total)| 100.0 * with / total)
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Standard dimension extractors.
+// ---------------------------------------------------------------------------
+
+/// Streaming protocol (inferred from the URL at ingest).
+pub fn protocol_dim(v: &ViewRef<'_>) -> Vec<StreamingProtocol> {
+    v.protocol.into_iter().collect()
+}
+
+/// Playback platform (from the device model).
+pub fn platform_dim(v: &ViewRef<'_>) -> Vec<Platform> {
+    vec![v.view.record.device.platform()]
+}
+
+/// CDNs that served the view (possibly several).
+pub fn cdn_dim(v: &ViewRef<'_>) -> Vec<CdnName> {
+    v.view
+        .record
+        .cdns
+        .iter()
+        .filter_map(|id| CdnName::from_dense_index(id.index()))
+        .collect()
+}
+
+/// Device model.
+pub fn device_dim(v: &ViewRef<'_>) -> Vec<DeviceModel> {
+    vec![v.view.record.device]
+}
+
+/// Browser player technology, for Browser-platform views only (Fig 10(a)).
+pub fn browser_tech_dim(v: &ViewRef<'_>) -> Vec<BrowserTech> {
+    v.view.record.device.browser_tech().into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{tests::test_view, ViewStore};
+
+    fn store() -> ViewStore {
+        ViewStore::ingest(vec![
+            // Publisher 0: HLS-heavy, one DASH view.
+            test_view(0, 0, "https://h/p/a.m3u8", 2.0, 1.0),
+            test_view(0, 0, "https://h/p/b.m3u8", 2.0, 1.0),
+            test_view(0, 0, "https://h/p/c.mpd", 1.0, 1.0),
+            // Publisher 1: DASH only, high weight.
+            test_view(0, 1, "https://h/p/d.mpd", 1.0, 5.0),
+        ])
+    }
+
+    #[test]
+    fn vh_share_sums_to_100() {
+        let s = store();
+        let shares = vh_share_by(s.all(), protocol_dim);
+        let total: f64 = shares.values().sum();
+        assert!((total - 100.0).abs() < 1e-9);
+        // HLS hours: 4; DASH hours: 1 + 5 = 6.
+        assert!((shares[&StreamingProtocol::Hls] - 40.0).abs() < 1e-9);
+        assert!((shares[&StreamingProtocol::Dash] - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn views_share_uses_weights_not_hours() {
+        let s = store();
+        let shares = views_share_by(s.all(), protocol_dim);
+        // Views: HLS 2, DASH 1 + 5 = 6; total 8.
+        assert!((shares[&StreamingProtocol::Hls] - 25.0).abs() < 1e-9);
+        assert!((shares[&StreamingProtocol::Dash] - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn publisher_share_counts_publishers_not_traffic() {
+        let s = store();
+        let shares = publisher_share_by(s.all(), protocol_dim, 0.01);
+        // Both publishers serve DASH; only publisher 0 serves HLS.
+        assert!((shares[&StreamingProtocol::Dash] - 100.0).abs() < 1e-9);
+        assert!((shares[&StreamingProtocol::Hls] - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_traffic_share_filters_noise() {
+        let s = store();
+        // Publisher 0's DASH share is 1/5 = 20%; a 30% floor drops it.
+        let shares = publisher_share_by(s.all(), protocol_dim, 0.30);
+        assert!((shares[&StreamingProtocol::Dash] - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_value_views_split_weight() {
+        use vmp_core::ids::CdnId;
+        let mut v = test_view(0, 0, "https://h/p/a.m3u8", 1.0, 1.0);
+        v.record.cdns = vec![CdnId::new(0), CdnId::new(1)]; // A and B
+        let s = ViewStore::ingest(vec![v]);
+        let shares = vh_share_by(s.all(), cdn_dim);
+        assert!((shares[&CdnName::A] - 50.0).abs() < 1e-9);
+        assert!((shares[&CdnName::B] - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_publisher_value_share_excludes_nonsupporters() {
+        let s = store();
+        let hls = per_publisher_value_share(s.all(), protocol_dim, &StreamingProtocol::Hls);
+        // Only publisher 0 appears; its HLS share is 80%.
+        assert_eq!(hls.len(), 1);
+        assert!((hls[0] - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_input_is_safe() {
+        let s = ViewStore::ingest(vec![]);
+        assert!(vh_share_by(s.all(), protocol_dim).is_empty());
+        assert!(publisher_share_by(s.all(), protocol_dim, 0.01).is_empty());
+    }
+}

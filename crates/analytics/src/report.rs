@@ -1,0 +1,190 @@
+//! Plain-text rendering of tables and series (what `repro` prints and
+//! EXPERIMENTS.md embeds), plus JSON export for machine consumption.
+
+use serde::Serialize;
+use std::fmt;
+
+/// A titled table: header + rows of strings.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Table {
+    /// Table title (e.g. "Fig 3(a): protocols per publisher").
+    pub title: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, header: Vec<&str>) -> Table {
+        Table {
+            title: title.into(),
+            header: header.into_iter().map(String::from).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (padded/truncated to the header width).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        let mut cells = cells;
+        cells.resize(self.header.len(), String::new());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Column widths for alignment.
+    fn widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        widths
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "## {}", self.title)?;
+        let widths = self.widths();
+        let render = |row: &[String], f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            write!(f, "|")?;
+            for (cell, w) in row.iter().zip(&widths) {
+                write!(f, " {cell:<w$} |", w = w)?;
+            }
+            writeln!(f)
+        };
+        render(&self.header, f)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{}|", "-".repeat(w + 2))?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            render(row, f)?;
+        }
+        Ok(())
+    }
+}
+
+/// A named time/x series: (x-label, value) points per named line.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Series {
+    /// Series title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// One named line of (x, y) points each.
+    pub lines: Vec<(String, Vec<(String, f64)>)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(title: impl Into<String>, x_label: impl Into<String>) -> Series {
+        Series { title: title.into(), x_label: x_label.into(), lines: Vec::new() }
+    }
+
+    /// Adds a line.
+    pub fn line(&mut self, name: impl Into<String>, points: Vec<(String, f64)>) -> &mut Self {
+        self.lines.push((name.into(), points));
+        self
+    }
+
+    /// Renders as a compact table: one row per x, one column per line.
+    pub fn to_table(&self) -> Table {
+        let mut header = vec![self.x_label.clone()];
+        for (name, _) in &self.lines {
+            header.push(name.clone());
+        }
+        let mut table = Table {
+            title: self.title.clone(),
+            header,
+            rows: Vec::new(),
+        };
+        // Union of x labels in first-seen order.
+        let mut xs: Vec<String> = Vec::new();
+        for (_, points) in &self.lines {
+            for (x, _) in points {
+                if !xs.contains(x) {
+                    xs.push(x.clone());
+                }
+            }
+        }
+        for x in xs {
+            let mut row = vec![x.clone()];
+            for (_, points) in &self.lines {
+                let y = points.iter().find(|(px, _)| *px == x).map(|(_, y)| *y);
+                row.push(y.map(|v| format!("{v:.1}")).unwrap_or_default());
+            }
+            table.rows.push(row);
+        }
+        table
+    }
+}
+
+impl fmt::Display for Series {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_table())
+    }
+}
+
+/// Formats a fraction of points for CDF sampling: standard plot quantiles.
+pub const CDF_QUANTILES: [f64; 9] = [0.05, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 1.0];
+
+/// Renders a CDF into rows of (quantile, value).
+pub fn cdf_rows(cdf: &vmp_stats::Cdf) -> Vec<(f64, f64)> {
+    CDF_QUANTILES.iter().map(|q| (*q, cdf.quantile(*q))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_markdown() {
+        let mut t = Table::new("Demo", vec!["proto", "%pubs"]);
+        t.row(vec!["HLS".into(), "91.0".into()]);
+        t.row(vec!["DASH".into(), "43.0".into()]);
+        let s = t.to_string();
+        assert!(s.contains("## Demo"));
+        assert!(s.contains("| HLS   | 91.0  |"));
+        assert!(s.lines().count() >= 4);
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new("Pad", vec!["a", "b", "c"]);
+        t.row(vec!["1".into()]);
+        assert_eq!(t.rows[0].len(), 3);
+    }
+
+    #[test]
+    fn series_to_table_unions_x_labels() {
+        let mut s = Series::new("S", "snap");
+        s.line("hls", vec![("t0".into(), 80.0), ("t1".into(), 91.0)]);
+        s.line("dash", vec![("t1".into(), 43.0)]);
+        let t = s.to_table();
+        assert_eq!(t.header, vec!["snap", "hls", "dash"]);
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.rows[0][2], ""); // dash missing at t0
+        assert_eq!(t.rows[1][2], "43.0");
+    }
+
+    #[test]
+    fn series_json_serializes() {
+        let mut s = Series::new("S", "x");
+        s.line("l", vec![("a".into(), 1.0)]);
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(json.contains("\"title\":\"S\""));
+    }
+
+    #[test]
+    fn cdf_rows_are_monotone() {
+        let cdf = vmp_stats::Cdf::new(&[1.0, 5.0, 2.0, 4.0, 3.0]).unwrap();
+        let rows = cdf_rows(&cdf);
+        assert!(rows.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert_eq!(rows.last().unwrap().1, 5.0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Telemetry ingestion and snapshot indexing.
+
+use std::collections::BTreeMap;
+use std::ops::Range;
+use vmp_core::protocol::StreamingProtocol;
+use vmp_core::time::SnapshotId;
+use vmp_core::view::SampledView;
+
+/// A view with its ingest-time derived dimensions.
+#[derive(Debug, Clone, Copy)]
+pub struct ViewRef<'a> {
+    /// The underlying weighted sample.
+    pub view: &'a SampledView,
+    /// Protocol inferred from the manifest URL (Table 1); `None` when the
+    /// URL is unclassifiable.
+    pub protocol: Option<StreamingProtocol>,
+}
+
+impl<'a> ViewRef<'a> {
+    /// Weighted view-hours of this sample.
+    pub fn hours(&self) -> f64 {
+        self.view.weighted_hours()
+    }
+
+    /// Weighted view count of this sample.
+    pub fn count(&self) -> f64 {
+        self.view.weight
+    }
+}
+
+/// The telemetry store: append-only, indexed by snapshot.
+#[derive(Debug, Default)]
+pub struct ViewStore {
+    views: Vec<SampledView>,
+    protocols: Vec<Option<StreamingProtocol>>,
+    by_snapshot: BTreeMap<SnapshotId, Range<usize>>,
+}
+
+impl ViewStore {
+    /// Ingests a batch of samples (sorting by snapshot, deriving dimensions).
+    pub fn ingest(mut views: Vec<SampledView>) -> ViewStore {
+        views.sort_by_key(|v| v.record.snapshot);
+        let protocols: Vec<Option<StreamingProtocol>> = views
+            .iter()
+            .map(|v| vmp_manifest::classify(&v.record.manifest_url))
+            .collect();
+        let mut by_snapshot = BTreeMap::new();
+        let mut start = 0usize;
+        while start < views.len() {
+            let snap = views[start].record.snapshot;
+            let mut end = start + 1;
+            while end < views.len() && views[end].record.snapshot == snap {
+                end += 1;
+            }
+            by_snapshot.insert(snap, start..end);
+            start = end;
+        }
+        ViewStore { views, protocols, by_snapshot }
+    }
+
+    /// Number of stored samples.
+    pub fn len(&self) -> usize {
+        self.views.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.views.is_empty()
+    }
+
+    /// Snapshots with data, ascending.
+    pub fn snapshots(&self) -> Vec<SnapshotId> {
+        self.by_snapshot.keys().copied().collect()
+    }
+
+    /// The latest snapshot with data (the paper's "latest snapshot").
+    pub fn latest_snapshot(&self) -> Option<SnapshotId> {
+        self.by_snapshot.keys().next_back().copied()
+    }
+
+    /// Iterates one snapshot's views.
+    pub fn at(&self, snapshot: SnapshotId) -> impl Iterator<Item = ViewRef<'_>> + Clone {
+        let range = self.by_snapshot.get(&snapshot).cloned().unwrap_or(0..0);
+        range.map(move |i| ViewRef { view: &self.views[i], protocol: self.protocols[i] })
+    }
+
+    /// Iterates everything.
+    pub fn all(&self) -> impl Iterator<Item = ViewRef<'_>> + Clone {
+        (0..self.views.len()).map(move |i| ViewRef { view: &self.views[i], protocol: self.protocols[i] })
+    }
+
+    /// Total weighted view-hours at one snapshot.
+    pub fn total_hours_at(&self, snapshot: SnapshotId) -> f64 {
+        self.at(snapshot).map(|v| v.hours()).sum()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use vmp_core::content::ContentClass;
+    use vmp_core::device::DeviceModel;
+    use vmp_core::geo::{ConnectionType, Isp, Region};
+    use vmp_core::ids::{CdnId, PublisherId, SessionId, VideoId};
+    use vmp_core::qoe::QoeSummary;
+    use vmp_core::units::{Kbps, Seconds};
+    use vmp_core::view::{OwnershipFlag, PlayerIdentity, ViewRecord};
+
+    pub(crate) fn test_view(
+        snapshot: u32,
+        publisher: u32,
+        url: &str,
+        hours: f64,
+        weight: f64,
+    ) -> SampledView {
+        SampledView {
+            record: ViewRecord {
+                session: SessionId::new(0),
+                snapshot: SnapshotId::new(snapshot).unwrap(),
+                publisher: PublisherId::new(publisher),
+                video: VideoId::new(1),
+                manifest_url: url.to_string(),
+                device: DeviceModel::Roku,
+                os: DeviceModel::Roku.os(),
+                player: PlayerIdentity::UserAgent("test".into()),
+                cdns: vec![CdnId::new(0)],
+                available_bitrates: vec![Kbps(800)],
+                viewing_time: Seconds::from_hours(hours),
+                class: ContentClass::Vod,
+                ownership: OwnershipFlag::Owned,
+                region: Region::UsOther,
+                isp: Isp::Z,
+                connection: ConnectionType::Wired,
+                qoe: QoeSummary::default(),
+            },
+            weight,
+        }
+    }
+
+    #[test]
+    fn ingest_indexes_by_snapshot() {
+        let store = ViewStore::ingest(vec![
+            test_view(3, 0, "https://h/p/a.m3u8", 1.0, 2.0),
+            test_view(1, 0, "https://h/p/a.mpd", 1.0, 1.0),
+            test_view(3, 1, "https://h/p/b.m3u8", 2.0, 1.0),
+        ]);
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.snapshots().len(), 2);
+        assert_eq!(store.at(SnapshotId::new(3).unwrap()).count(), 2);
+        assert_eq!(store.at(SnapshotId::new(1).unwrap()).count(), 1);
+        assert_eq!(store.at(SnapshotId::new(9).unwrap()).count(), 0);
+        assert_eq!(store.latest_snapshot(), SnapshotId::new(3));
+    }
+
+    #[test]
+    fn protocol_is_derived_from_url() {
+        let store = ViewStore::ingest(vec![
+            test_view(0, 0, "https://h/p/a.m3u8", 1.0, 1.0),
+            test_view(0, 0, "https://h/p/a.mpd", 1.0, 1.0),
+            test_view(0, 0, "https://h/p/opaque", 1.0, 1.0),
+        ]);
+        let protos: Vec<_> = store.all().map(|v| v.protocol).collect();
+        assert!(protos.contains(&Some(StreamingProtocol::Hls)));
+        assert!(protos.contains(&Some(StreamingProtocol::Dash)));
+        assert!(protos.contains(&None));
+    }
+
+    #[test]
+    fn weighted_totals() {
+        let store = ViewStore::ingest(vec![
+            test_view(0, 0, "https://h/p/a.m3u8", 1.5, 2.0),
+            test_view(0, 1, "https://h/p/b.m3u8", 0.5, 4.0),
+        ]);
+        let total = store.total_hours_at(SnapshotId::FIRST);
+        assert!((total - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_store_is_safe() {
+        let store = ViewStore::ingest(vec![]);
+        assert!(store.is_empty());
+        assert_eq!(store.latest_snapshot(), None);
+        assert_eq!(store.total_hours_at(SnapshotId::LAST), 0.0);
+    }
+}

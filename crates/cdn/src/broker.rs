@@ -1,0 +1,235 @@
+//! CDN brokering: per-view CDN selection.
+//!
+//! §2: "some publishers use a CDN broker to select the best CDN for a given
+//! client view... even some publishers who only use a single CDN use a CDN
+//! broker for management services such as monitoring and fault isolation."
+//! The broker here supports weighted selection (the default management-plane
+//! behaviour) and QoE-aware selection driven by exponentially-decayed
+//! per-CDN performance scores, plus mid-stream failover.
+
+use crate::strategy::CdnStrategy;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use vmp_core::cdn::CdnName;
+use vmp_core::content::ContentClass;
+use vmp_stats::{Discrete, Distribution, Rng};
+
+/// Broker selection policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BrokerPolicy {
+    /// Pick proportionally to configured weights.
+    Weighted,
+    /// Pick the CDN with the best decayed QoE score (exploration ε = 10%).
+    QoeAware,
+}
+
+/// Decayed per-CDN performance score (higher is better).
+#[derive(Debug, Default, Clone, Copy)]
+struct Score {
+    value: f64,
+    samples: u64,
+}
+
+/// A CDN broker shared across concurrent sessions (hence the mutex; the
+/// paper's broker aggregates telemetry from all clients).
+#[derive(Debug)]
+pub struct Broker {
+    policy: BrokerPolicy,
+    scores: Mutex<HashMap<CdnName, Score>>,
+    /// EWMA decay for score updates.
+    alpha: f64,
+    /// Exploration probability under [`BrokerPolicy::QoeAware`].
+    epsilon: f64,
+}
+
+impl Broker {
+    /// Creates a broker.
+    pub fn new(policy: BrokerPolicy) -> Broker {
+        Broker { policy, scores: Mutex::new(HashMap::new()), alpha: 0.2, epsilon: 0.1 }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> BrokerPolicy {
+        self.policy
+    }
+
+    /// Selects the CDN for a new view of `class` content under `strategy`.
+    /// Returns `None` when the strategy has no CDN admitting the class.
+    pub fn select(
+        &self,
+        strategy: &CdnStrategy,
+        class: ContentClass,
+        rng: &mut Rng,
+    ) -> Option<CdnName> {
+        let eligible = strategy.eligible(class);
+        if eligible.is_empty() {
+            return None;
+        }
+        match self.policy {
+            BrokerPolicy::Weighted => {
+                let weights: Vec<f64> = eligible.iter().map(|a| a.weight).collect();
+                let dist = Discrete::new(&weights).ok()?;
+                Some(eligible[dist.sample(rng)].cdn)
+            }
+            BrokerPolicy::QoeAware => {
+                if rng.chance(self.epsilon) {
+                    // Explore uniformly.
+                    return Some(rng.choose(&eligible).cdn);
+                }
+                let scores = self.scores.lock();
+                eligible
+                    .iter()
+                    .max_by(|a, b| {
+                        let sa = scores.get(&a.cdn).map(|s| s.value).unwrap_or(f64::MAX);
+                        let sb = scores.get(&b.cdn).map(|s| s.value).unwrap_or(f64::MAX);
+                        sa.partial_cmp(&sb).expect("scores are finite")
+                    })
+                    .map(|a| a.cdn)
+            }
+        }
+    }
+
+    /// Picks a different CDN after a mid-stream failure on `failed`.
+    /// Returns `None` when no alternative exists.
+    pub fn failover(
+        &self,
+        strategy: &CdnStrategy,
+        class: ContentClass,
+        failed: CdnName,
+        rng: &mut Rng,
+    ) -> Option<CdnName> {
+        let alternatives: Vec<_> = strategy
+            .eligible(class)
+            .into_iter()
+            .filter(|a| a.cdn != failed)
+            .collect();
+        if alternatives.is_empty() {
+            None
+        } else {
+            Some(rng.choose(&alternatives).cdn)
+        }
+    }
+
+    /// Reports an observed per-view QoE score for a CDN (e.g. average
+    /// bitrate over rebuffering-penalized time). Higher is better.
+    pub fn report(&self, cdn: CdnName, score: f64) {
+        if !score.is_finite() {
+            return;
+        }
+        let mut scores = self.scores.lock();
+        let entry = scores.entry(cdn).or_default();
+        if entry.samples == 0 {
+            entry.value = score;
+        } else {
+            entry.value = (1.0 - self.alpha) * entry.value + self.alpha * score;
+        }
+        entry.samples += 1;
+    }
+
+    /// The current score for a CDN, if any views were reported.
+    pub fn score(&self, cdn: CdnName) -> Option<f64> {
+        let scores = self.scores.lock();
+        scores.get(&cdn).filter(|s| s.samples > 0).map(|s| s.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::{CdnAssignment, CdnScope};
+
+    fn strategy() -> CdnStrategy {
+        CdnStrategy::new(vec![
+            CdnAssignment { cdn: CdnName::A, weight: 3.0, scope: CdnScope::All },
+            CdnAssignment { cdn: CdnName::B, weight: 1.0, scope: CdnScope::All },
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn weighted_selection_follows_weights() {
+        let broker = Broker::new(BrokerPolicy::Weighted);
+        let s = strategy();
+        let mut rng = Rng::seed_from(1);
+        let mut a = 0;
+        for _ in 0..10_000 {
+            if broker.select(&s, ContentClass::Vod, &mut rng) == Some(CdnName::A) {
+                a += 1;
+            }
+        }
+        let share = a as f64 / 10_000.0;
+        assert!((share - 0.75).abs() < 0.03, "share {share}");
+    }
+
+    #[test]
+    fn qoe_aware_prefers_better_cdn() {
+        let broker = Broker::new(BrokerPolicy::QoeAware);
+        let s = strategy();
+        for _ in 0..50 {
+            broker.report(CdnName::A, 1000.0);
+            broker.report(CdnName::B, 4000.0);
+        }
+        let mut rng = Rng::seed_from(2);
+        let mut b = 0;
+        for _ in 0..1000 {
+            if broker.select(&s, ContentClass::Vod, &mut rng) == Some(CdnName::B) {
+                b += 1;
+            }
+        }
+        // ε = 10% exploration, half of which still lands on B.
+        assert!(b > 900, "B selected {b}");
+    }
+
+    #[test]
+    fn unknown_cdns_are_explored_first() {
+        let broker = Broker::new(BrokerPolicy::QoeAware);
+        broker.report(CdnName::A, 9000.0);
+        // B has no data → treated as +∞ → gets picked (optimistic start).
+        let s = strategy();
+        let mut rng = Rng::seed_from(3);
+        let pick = broker.select(&s, ContentClass::Vod, &mut rng);
+        assert_eq!(pick, Some(CdnName::B));
+    }
+
+    #[test]
+    fn failover_avoids_failed_cdn() {
+        let broker = Broker::new(BrokerPolicy::Weighted);
+        let s = strategy();
+        let mut rng = Rng::seed_from(4);
+        for _ in 0..100 {
+            let next = broker.failover(&s, ContentClass::Vod, CdnName::A, &mut rng);
+            assert_eq!(next, Some(CdnName::B));
+        }
+        // Single-CDN strategy has no failover target.
+        let single = CdnStrategy::single(CdnName::A);
+        assert_eq!(broker.failover(&single, ContentClass::Vod, CdnName::A, &mut rng), None);
+    }
+
+    #[test]
+    fn segregation_respected_by_selection() {
+        let s = CdnStrategy::new(vec![
+            CdnAssignment { cdn: CdnName::A, weight: 1.0, scope: CdnScope::VodOnly },
+            CdnAssignment { cdn: CdnName::B, weight: 1.0, scope: CdnScope::LiveOnly },
+        ])
+        .unwrap();
+        let broker = Broker::new(BrokerPolicy::Weighted);
+        let mut rng = Rng::seed_from(5);
+        for _ in 0..50 {
+            assert_eq!(broker.select(&s, ContentClass::Vod, &mut rng), Some(CdnName::A));
+            assert_eq!(broker.select(&s, ContentClass::Live, &mut rng), Some(CdnName::B));
+        }
+    }
+
+    #[test]
+    fn report_ewma_converges() {
+        let broker = Broker::new(BrokerPolicy::QoeAware);
+        for _ in 0..100 {
+            broker.report(CdnName::C, 2000.0);
+        }
+        let s = broker.score(CdnName::C).unwrap();
+        assert!((s - 2000.0).abs() < 1e-6);
+        broker.report(CdnName::C, f64::NAN); // ignored
+        assert!((broker.score(CdnName::C).unwrap() - 2000.0).abs() < 1e-6);
+        assert_eq!(broker.score(CdnName::D), None);
+    }
+}

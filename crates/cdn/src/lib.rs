@@ -1,0 +1,35 @@
+//! # vmp-cdn — the content-distribution substrate
+//!
+//! §2's distribution function and §4.3's object of study: publishers push
+//! packaged content to one or more CDNs; clients fetch chunks from CDN edge
+//! servers; some publishers use a broker to pick the CDN per view.
+//!
+//! * [`origin`] — per-CDN origin storage with a content-addressed ledger and
+//!   the §6 *bitrate-tolerance deduplication* analysis (Fig 18): a CDN can
+//!   drop redundant copies of the same underlying content stored by
+//!   different publishers at the same or similar bitrates.
+//! * [`edge`] — LRU edge caches in front of the origin; cache misses cost
+//!   origin round trips (the setting §6 quantifies redundancy in).
+//! * [`routing`] — edge selection: consistent-hash DNS mapping or anycast
+//!   (one of the top three CDNs is anycast; route flaps can sever ongoing
+//!   transfers, §4.3).
+//! * [`strategy`] — a publisher's multi-CDN configuration: which CDNs carry
+//!   which content class (30% of multi-CDN publishers keep a VoD-only CDN,
+//!   19% a live-only CDN), with weights.
+//! * [`broker`] — per-view CDN selection: weighted, or QoE-aware using
+//!   decayed per-CDN performance scores (the Conviva-style service §2
+//!   describes).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod broker;
+pub mod edge;
+pub mod origin;
+pub mod routing;
+pub mod strategy;
+
+pub use broker::{Broker, BrokerPolicy};
+pub use edge::{CacheOutcome, EdgeCache, EdgeCluster};
+pub use origin::{ContentKey, OriginEntry, OriginStore};
+pub use strategy::CdnStrategy;

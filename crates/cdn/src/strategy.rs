@@ -1,0 +1,164 @@
+//! A publisher's multi-CDN configuration.
+//!
+//! §4.3: publishers use 1–5 CDNs; usage weights shift over time; and a
+//! significant fraction of multi-CDN publishers segregate live and VoD
+//! traffic by CDN (30% have at least one VoD-only CDN, 19% a live-only
+//! CDN, one extreme publisher fully split the two).
+
+use vmp_core::cdn::CdnName;
+use vmp_core::content::ContentClass;
+use vmp_core::error::CoreError;
+
+/// Which content classes a CDN carries for this publisher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CdnScope {
+    /// Both live and VoD.
+    All,
+    /// VoD only.
+    VodOnly,
+    /// Live only.
+    LiveOnly,
+}
+
+impl CdnScope {
+    /// Whether the scope admits a content class.
+    pub const fn admits(self, class: ContentClass) -> bool {
+        match self {
+            CdnScope::All => true,
+            CdnScope::VodOnly => matches!(class, ContentClass::Vod),
+            CdnScope::LiveOnly => matches!(class, ContentClass::Live),
+        }
+    }
+}
+
+/// One CDN in a publisher's rotation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CdnAssignment {
+    /// The CDN.
+    pub cdn: CdnName,
+    /// Traffic weight (relative, > 0).
+    pub weight: f64,
+    /// Content classes this CDN carries.
+    pub scope: CdnScope,
+}
+
+/// A publisher's complete CDN strategy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CdnStrategy {
+    assignments: Vec<CdnAssignment>,
+}
+
+impl CdnStrategy {
+    /// Creates a strategy; requires at least one assignment with positive
+    /// weight, no duplicate CDNs, and at least one CDN admitting each class
+    /// that any scope mentions.
+    pub fn new(assignments: Vec<CdnAssignment>) -> Result<CdnStrategy, CoreError> {
+        if assignments.is_empty() {
+            return Err(CoreError::invalid("strategy needs at least one CDN"));
+        }
+        if assignments.iter().any(|a| a.weight <= 0.0 || !a.weight.is_finite()) {
+            return Err(CoreError::invalid("CDN weights must be positive"));
+        }
+        let mut names: Vec<CdnName> = assignments.iter().map(|a| a.cdn).collect();
+        names.sort();
+        names.dedup();
+        if names.len() != assignments.len() {
+            return Err(CoreError::invalid("duplicate CDN in strategy"));
+        }
+        Ok(CdnStrategy { assignments })
+    }
+
+    /// Single-CDN strategy carrying everything.
+    pub fn single(cdn: CdnName) -> CdnStrategy {
+        CdnStrategy {
+            assignments: vec![CdnAssignment { cdn, weight: 1.0, scope: CdnScope::All }],
+        }
+    }
+
+    /// All assignments.
+    pub fn assignments(&self) -> &[CdnAssignment] {
+        &self.assignments
+    }
+
+    /// Every CDN in the strategy.
+    pub fn cdns(&self) -> Vec<CdnName> {
+        self.assignments.iter().map(|a| a.cdn).collect()
+    }
+
+    /// Number of CDNs (the §4.3 per-publisher count).
+    pub fn cdn_count(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// CDNs eligible for a content class, with weights.
+    pub fn eligible(&self, class: ContentClass) -> Vec<CdnAssignment> {
+        self.assignments
+            .iter()
+            .copied()
+            .filter(|a| a.scope.admits(class))
+            .collect()
+    }
+
+    /// Whether at least one CDN is VoD-only (a §4.3 segregation signal).
+    pub fn has_vod_only(&self) -> bool {
+        self.assignments.iter().any(|a| a.scope == CdnScope::VodOnly)
+    }
+
+    /// Whether at least one CDN is live-only.
+    pub fn has_live_only(&self) -> bool {
+        self.assignments.iter().any(|a| a.scope == CdnScope::LiveOnly)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_strategy() {
+        let s = CdnStrategy::single(CdnName::A);
+        assert_eq!(s.cdn_count(), 1);
+        assert_eq!(s.eligible(ContentClass::Live).len(), 1);
+        assert!(!s.has_vod_only());
+    }
+
+    #[test]
+    fn segregated_strategy() {
+        let s = CdnStrategy::new(vec![
+            CdnAssignment { cdn: CdnName::A, weight: 2.0, scope: CdnScope::VodOnly },
+            CdnAssignment { cdn: CdnName::B, weight: 1.0, scope: CdnScope::LiveOnly },
+            CdnAssignment { cdn: CdnName::C, weight: 1.0, scope: CdnScope::All },
+        ])
+        .unwrap();
+        assert!(s.has_vod_only());
+        assert!(s.has_live_only());
+        let vod: Vec<CdnName> = s.eligible(ContentClass::Vod).iter().map(|a| a.cdn).collect();
+        assert_eq!(vod, vec![CdnName::A, CdnName::C]);
+        let live: Vec<CdnName> = s.eligible(ContentClass::Live).iter().map(|a| a.cdn).collect();
+        assert_eq!(live, vec![CdnName::B, CdnName::C]);
+    }
+
+    #[test]
+    fn invalid_strategies_rejected() {
+        assert!(CdnStrategy::new(vec![]).is_err());
+        assert!(CdnStrategy::new(vec![CdnAssignment {
+            cdn: CdnName::A,
+            weight: 0.0,
+            scope: CdnScope::All
+        }])
+        .is_err());
+        assert!(CdnStrategy::new(vec![
+            CdnAssignment { cdn: CdnName::A, weight: 1.0, scope: CdnScope::All },
+            CdnAssignment { cdn: CdnName::A, weight: 1.0, scope: CdnScope::All },
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn scope_admission() {
+        assert!(CdnScope::All.admits(ContentClass::Live));
+        assert!(CdnScope::All.admits(ContentClass::Vod));
+        assert!(!CdnScope::VodOnly.admits(ContentClass::Live));
+        assert!(!CdnScope::LiveOnly.admits(ContentClass::Vod));
+    }
+}

@@ -1,0 +1,73 @@
+//! Error types shared across the workspace.
+
+use std::fmt;
+
+/// Errors produced by core-type constructors and cross-crate plumbing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// An index was outside the study time window.
+    OutOfStudyWindow {
+        /// What kind of index (e.g. "snapshot", "month").
+        what: &'static str,
+        /// The offending index.
+        index: u32,
+    },
+    /// An identifier referenced an entity that does not exist.
+    UnknownEntity {
+        /// Entity kind (e.g. "publisher", "cdn").
+        what: &'static str,
+        /// The raw identifier.
+        id: u32,
+    },
+    /// A configuration value was invalid (empty ladder, zero duration, ...).
+    InvalidConfig {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+}
+
+impl CoreError {
+    /// Shorthand for [`CoreError::InvalidConfig`].
+    pub fn invalid(reason: impl Into<String>) -> Self {
+        CoreError::InvalidConfig { reason: reason.into() }
+    }
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::OutOfStudyWindow { what, index } => {
+                write!(f, "{what} index {index} is outside the 27-month study window")
+            }
+            CoreError::UnknownEntity { what, id } => {
+                write!(f, "unknown {what} id {id}")
+            }
+            CoreError::InvalidConfig { reason } => {
+                write!(f, "invalid configuration: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = CoreError::OutOfStudyWindow { what: "snapshot", index: 99 };
+        assert!(e.to_string().contains("snapshot index 99"));
+        let e = CoreError::UnknownEntity { what: "publisher", id: 5 };
+        assert!(e.to_string().contains("unknown publisher id 5"));
+        let e = CoreError::invalid("ladder empty");
+        assert!(e.to_string().contains("ladder empty"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&CoreError::invalid("x"));
+    }
+}

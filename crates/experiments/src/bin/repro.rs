@@ -1,0 +1,97 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! Usage:
+//! ```text
+//! repro [--quick] [--json PATH] [ID ...]
+//! ```
+//! With no IDs, runs everything in paper order. `--quick` uses the reduced
+//! ecosystem (CI-sized); the default is the full EXPERIMENTS.md run.
+
+use std::io::Write;
+use vmp_experiments::{run, ReproContext, Scale, ABLATIONS, ALL_EXPERIMENTS};
+
+fn main() {
+    let mut scale = Scale::Full;
+    let mut json_path: Option<String> = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--ablations" => ids.extend(ABLATIONS.iter().map(|s| s.to_string())),
+            "--json" => {
+                json_path = args.next();
+                if json_path.is_none() {
+                    eprintln!("--json requires a path");
+                    std::process::exit(2);
+                }
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: repro [--quick] [--ablations] [--json PATH] [ID ...]");
+                eprintln!("experiments: {}", ALL_EXPERIMENTS.join(" "));
+                eprintln!("ablations:   {}", ABLATIONS.join(" "));
+                return;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        ids = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    }
+    for id in &ids {
+        if !ALL_EXPERIMENTS.contains(&id.as_str()) && !ABLATIONS.contains(&id.as_str()) {
+            eprintln!(
+                "unknown experiment '{id}'; known: {} {}",
+                ALL_EXPERIMENTS.join(" "),
+                ABLATIONS.join(" ")
+            );
+            std::process::exit(2);
+        }
+    }
+
+    eprintln!(
+        "generating ecosystem ({}), running {} experiment(s)...",
+        match scale {
+            Scale::Full => "full",
+            Scale::Quick => "quick",
+        },
+        ids.len()
+    );
+    let started = std::time::Instant::now();
+    let ctx = ReproContext::new(scale);
+    eprintln!(
+        "ecosystem ready: {} publishers, {} weighted view samples, {} snapshots ({:.1}s)",
+        ctx.dataset.profiles.len(),
+        ctx.dataset.views.len(),
+        ctx.dataset.snapshots.len(),
+        started.elapsed().as_secs_f64()
+    );
+
+    let mut results = Vec::new();
+    let mut failures = 0usize;
+    for id in &ids {
+        let result = run(id, &ctx).expect("id validated above");
+        println!("{result}");
+        failures += result.failures().len();
+        results.push(result);
+    }
+
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&results).expect("results serialize");
+        let mut file = std::fs::File::create(&path).expect("create json output");
+        file.write_all(json.as_bytes()).expect("write json output");
+        eprintln!("wrote {path}");
+    }
+
+    let total_checks: usize = results.iter().map(|r| r.checks.len()).sum();
+    eprintln!(
+        "\n{} experiments, {}/{} checks passed ({:.1}s total)",
+        results.len(),
+        total_checks - failures,
+        total_checks,
+        started.elapsed().as_secs_f64()
+    );
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,86 @@
+//! Shared experiment context: one generated ecosystem + ingested telemetry.
+
+use vmp_analytics::store::ViewStore;
+use vmp_core::ids::PublisherId;
+use vmp_synth::ecosystem::{Dataset, EcosystemConfig};
+
+/// How big a run to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Full 54-snapshot run (the EXPERIMENTS.md numbers).
+    Full,
+    /// Reduced run for CI / quick iteration.
+    Quick,
+}
+
+/// The context shared by all ecosystem-driven experiments.
+pub struct ReproContext {
+    /// The generated ecosystem.
+    pub dataset: Dataset,
+    /// Ingested telemetry.
+    pub store: ViewStore,
+}
+
+impl ReproContext {
+    /// Generates the ecosystem and ingests its telemetry.
+    pub fn new(scale: Scale) -> ReproContext {
+        let config = match scale {
+            Scale::Full => EcosystemConfig {
+                snapshot_stride: 2,
+                ..EcosystemConfig::default()
+            },
+            Scale::Quick => EcosystemConfig::small(),
+        };
+        let dataset = Dataset::generate(config);
+        let store = ViewStore::ingest(dataset.views.clone());
+        ReproContext { dataset, store }
+    }
+
+    /// A store excluding the given publishers (Fig 2(c) / 6(b)).
+    pub fn store_excluding(&self, excluded: &[PublisherId]) -> ViewStore {
+        ViewStore::ingest(
+            self.dataset
+                .views
+                .iter()
+                .filter(|v| !excluded.contains(&v.record.publisher))
+                .cloned()
+                .collect(),
+        )
+    }
+
+    /// The DASH-first / largest publishers (paper's anonymized `N`).
+    pub fn dash_first_publishers(&self) -> Vec<PublisherId> {
+        self.dataset
+            .profiles
+            .iter()
+            .filter(|p| p.dash_first)
+            .map(|p| p.publisher.id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_context_builds() {
+        let ctx = ReproContext::new(Scale::Quick);
+        assert!(!ctx.store.is_empty());
+        assert_eq!(
+            ctx.dash_first_publishers().len(),
+            vmp_synth::trends::DASH_FIRST_PUBLISHERS
+        );
+    }
+
+    #[test]
+    fn exclusion_removes_publishers() {
+        let ctx = ReproContext::new(Scale::Quick);
+        let excluded = ctx.dash_first_publishers();
+        let filtered = ctx.store_excluding(&excluded);
+        assert!(filtered.len() < ctx.store.len());
+        for v in filtered.all() {
+            assert!(!excluded.contains(&v.view.record.publisher));
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Fig 8: CDF of individual view duration per platform (last snapshot).
+
+use crate::context::ReproContext;
+use crate::result::{Check, ExperimentResult};
+use vmp_analytics::report::Table;
+use vmp_core::platform::Platform;
+use vmp_stats::Cdf;
+
+/// Runs the Fig 8 regeneration.
+pub fn run(ctx: &ReproContext) -> ExperimentResult {
+    let mut result = ExperimentResult::new("fig08", "Fig 8: view duration CDF per platform");
+    let last = ctx.store.latest_snapshot().expect("store has data");
+
+    let mut table = Table::new(
+        "View duration quantiles (hours) and P(>0.2h), per platform",
+        vec!["platform", "p25", "p50", "p75", "P(>0.2h) %"],
+    );
+
+    let mut p_over: Vec<(Platform, f64)> = Vec::new();
+    for platform in Platform::ALL {
+        // View-weighted durations (each sample counts `weight` views).
+        let mut durations = Vec::new();
+        let mut weights = Vec::new();
+        for v in ctx.store.at(last) {
+            if v.view.record.device.platform() == platform {
+                durations.push(v.view.record.viewing_time.hours());
+                weights.push(v.view.weight);
+            }
+        }
+        let Some(cdf) = Cdf::weighted(&durations, &weights) else {
+            continue;
+        };
+        let over = 100.0 * (1.0 - cdf.at(0.2));
+        p_over.push((platform, over));
+        table.row(vec![
+            platform.label().to_string(),
+            format!("{:.3}", cdf.quantile(0.25)),
+            format!("{:.3}", cdf.quantile(0.50)),
+            format!("{:.3}", cdf.quantile(0.75)),
+            format!("{over:.1}"),
+        ]);
+    }
+
+    // Paper: >60% of set-top views exceed 0.2 h; only ≈24% of mobile and
+    // browser views do.
+    let get = |p: Platform| p_over.iter().find(|(pl, _)| *pl == p).map(|(_, v)| *v);
+    if let Some(settop) = get(Platform::SetTopBox) {
+        result.checks.push(Check::in_range("fig8: set-top P(>0.2h) >60%", settop, 55.0, 90.0));
+    }
+    if let Some(mobile) = get(Platform::MobileApp) {
+        result.checks.push(Check::in_range("fig8: mobile P(>0.2h) ≈24%", mobile, 12.0, 34.0));
+    }
+    if let Some(browser) = get(Platform::Browser) {
+        result.checks.push(Check::in_range("fig8: browser P(>0.2h) ≈24%", browser, 12.0, 36.0));
+    }
+    if let (Some(settop), Some(mobile)) = (get(Platform::SetTopBox), get(Platform::MobileApp)) {
+        result.checks.push(Check::new(
+            "fig8: set-top views are much longer than mobile views",
+            settop > mobile + 20.0,
+            format!("set-top {settop:.1}% vs mobile {mobile:.1}%"),
+        ));
+    }
+
+    result.tables.push(table);
+    result
+}

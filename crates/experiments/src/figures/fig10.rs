@@ -1,0 +1,126 @@
+//! Fig 10: view-hour shares of specific devices within one platform.
+
+use crate::context::ReproContext;
+use crate::figures::helpers::endpoints;
+use crate::result::{Check, ExperimentResult};
+use vmp_analytics::report::Series;
+use vmp_analytics::store::{ViewRef, ViewStore};
+use vmp_core::device::DeviceModel;
+use vmp_core::platform::{BrowserTech, Platform};
+
+/// Share series within one platform (views of other platforms excluded).
+fn within_platform_series(
+    store: &ViewStore,
+    title: &str,
+    platform: Platform,
+    label_of: impl Fn(&ViewRef<'_>) -> Option<String>,
+) -> Series {
+    let mut series = Series::new(title, "snapshot");
+    let snapshots = store.snapshots();
+    // Collect labels first for stable line order.
+    let mut labels: Vec<String> = Vec::new();
+    for v in store.all() {
+        if v.view.record.device.platform() == platform {
+            if let Some(l) = label_of(&v) {
+                if !labels.contains(&l) {
+                    labels.push(l);
+                }
+            }
+        }
+    }
+    labels.sort();
+    for label in &labels {
+        let mut points = Vec::new();
+        for snapshot in &snapshots {
+            let mut total = 0.0;
+            let mut with = 0.0;
+            for v in store.at(*snapshot) {
+                if v.view.record.device.platform() != platform {
+                    continue;
+                }
+                let h = v.hours();
+                total += h;
+                if label_of(&v).as_deref() == Some(label) {
+                    with += h;
+                }
+            }
+            let share = if total > 0.0 { 100.0 * with / total } else { 0.0 };
+            points.push((snapshot.to_string(), share));
+        }
+        series.line(label.clone(), points);
+    }
+    series
+}
+
+/// Runs the Fig 10 regeneration.
+pub fn run(ctx: &ReproContext) -> ExperimentResult {
+    let mut result = ExperimentResult::new("fig10", "Fig 10: device shares within platforms");
+
+    let browsers = within_platform_series(
+        &ctx.store,
+        "Fig 10(a): browser view-hours by player technology",
+        Platform::Browser,
+        |v| v.view.record.device.browser_tech().map(|t| t.label().to_string()),
+    );
+    let mobile = within_platform_series(
+        &ctx.store,
+        "Fig 10(b): mobile view-hours by OS",
+        Platform::MobileApp,
+        |v| Some(v.view.record.os.to_string()),
+    );
+    let settop = within_platform_series(
+        &ctx.store,
+        "Fig 10(c): set-top view-hours by device",
+        Platform::SetTopBox,
+        |v| Some(v.view.record.device.model_string().to_string()),
+    );
+
+    // Paper: HTML5 ≈25% → ≈60%; Flash ≈60% → ≈40%; Android rises to parity
+    // with iOS; Roku dominant among set-tops with AppleTV/FireTV visible.
+    if let Some((h5_start, h5_end)) = endpoints(&browsers, BrowserTech::Html5.label()) {
+        result.checks.push(Check::in_range("fig10a: HTML5 ≈25% at start", h5_start, 15.0, 35.0));
+        result.checks.push(Check::in_range("fig10a: HTML5 ≈60% at end", h5_end, 48.0, 70.0));
+    }
+    if let Some((flash_start, flash_end)) = endpoints(&browsers, BrowserTech::Flash.label()) {
+        result.checks.push(Check::in_range("fig10a: Flash ≈60% at start", flash_start, 48.0, 70.0));
+        result.checks.push(Check::in_range("fig10a: Flash ≈40% at end (modest drop)", flash_end, 28.0, 50.0));
+    }
+    if let (Some((android_start, android_end)), Some((_, ios_end))) =
+        (endpoints(&mobile, "Android"), endpoints(&mobile, "iOS"))
+    {
+        result.checks.push(Check::new(
+            "fig10b: Android view-hours rise significantly",
+            android_end > android_start + 5.0,
+            format!("{android_start:.1}% → {android_end:.1}%"),
+        ));
+        result.checks.push(Check::new(
+            "fig10b: Android and iOS comparable at the end",
+            (android_end - ios_end).abs() < 18.0,
+            format!("Android {android_end:.1}% vs iOS {ios_end:.1}%"),
+        ));
+    }
+    if let Some((_, roku_end)) = endpoints(&settop, DeviceModel::Roku.model_string()) {
+        let others_end = [DeviceModel::AppleTv, DeviceModel::FireTv, DeviceModel::Chromecast]
+            .iter()
+            .filter_map(|d| endpoints(&settop, d.model_string()).map(|e| e.1))
+            .fold(0.0, f64::max);
+        result.checks.push(Check::new(
+            "fig10c: Roku dominant among set-tops",
+            roku_end > others_end,
+            format!("Roku {roku_end:.1}% vs next {others_end:.1}%"),
+        ));
+        let appletv_end =
+            endpoints(&settop, DeviceModel::AppleTv.model_string()).map(|e| e.1).unwrap_or(0.0);
+        result.checks.push(Check::in_range(
+            "fig10c: AppleTV non-negligible",
+            appletv_end,
+            8.0,
+            40.0,
+        ));
+    }
+
+    result.series.push(browsers);
+    result.series.push(mobile);
+    result.series.push(settop);
+    result
+}

@@ -1,0 +1,77 @@
+//! Fig 18: CDN-origin storage savings under different syndication models.
+
+use crate::context::ReproContext;
+use crate::result::{Check, ExperimentResult};
+use vmp_analytics::report::Table;
+use vmp_syndication::catalogue::CatalogueStudy;
+use vmp_syndication::storage::storage_study;
+
+/// Runs the Fig 18 regeneration.
+pub fn run(_ctx: &ReproContext) -> ExperimentResult {
+    let mut result =
+        ExperimentResult::new("fig18", "Fig 18: storage savings under syndication models");
+    let study = CatalogueStudy::paper_setting();
+    let outcome = storage_study(&study);
+
+    let mut table = Table::new(
+        "Origin storage per common CDN (paper: 1916 TB total; 316 TB/16.5% @5%, 865 TB/45.2% @10%, 1257 TB/65.6% integrated)",
+        vec!["CDN", "total TB", "saved @5% (TB / %)", "saved @10% (TB / %)", "integrated (TB / %)"],
+    );
+    for r in &outcome.per_cdn {
+        table.row(vec![
+            r.cdn.to_string(),
+            format!("{:.0}", r.total.terabytes()),
+            format!("{:.0} / {:.1}%", r.saved_5pct.terabytes(), r.pct(r.saved_5pct)),
+            format!("{:.0} / {:.1}%", r.saved_10pct.terabytes(), r.pct(r.saved_10pct)),
+            format!(
+                "{:.0} / {:.1}%",
+                r.saved_integrated.terabytes(),
+                r.pct(r.saved_integrated)
+            ),
+        ]);
+    }
+
+    if let Some(r) = outcome.representative() {
+        result.checks.push(Check::in_range(
+            "fig18: total storage ≈1916 TB per common CDN",
+            r.total.terabytes(),
+            1700.0,
+            2150.0,
+        ));
+        result.checks.push(Check::in_range("fig18: ≈16.5% saved @5% tolerance", r.pct(r.saved_5pct), 10.0, 24.0));
+        result.checks.push(Check::in_range("fig18: ≈45.2% saved @10% tolerance", r.pct(r.saved_10pct), 38.0, 54.0));
+        result.checks.push(Check::in_range(
+            "fig18: ≈65.6% saved under integrated syndication",
+            r.pct(r.saved_integrated),
+            58.0,
+            72.0,
+        ));
+        result.checks.push(Check::new(
+            "fig18: savings monotone (5% ≤ 10% ≤ integrated)",
+            r.saved_5pct <= r.saved_10pct && r.saved_10pct <= r.saved_integrated,
+            "ordering holds",
+        ));
+    }
+    result.tables.push(table);
+    result.notes.push(format!(
+        "Catalogue: {} titles x {:.2} h; owner (9 rungs) on A+B, S6 (7 rungs) on A+B+C, \
+         S9 (14 rungs) on A+B+D — the §6 setting.",
+        study.titles,
+        study.title_duration.hours()
+    ));
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{ReproContext, Scale};
+
+    #[test]
+    #[ignore = "builds a quick ecosystem; run with --ignored or the repro binary"]
+    fn storage_checks_pass() {
+        let ctx = ReproContext::new(Scale::Quick);
+        let r = run(&ctx);
+        assert!(r.all_passed(), "{:?}", r.failures());
+    }
+}

@@ -1,0 +1,165 @@
+//! Shared plumbing for figure drivers.
+
+use std::fmt::Display;
+use vmp_analytics::query;
+use vmp_analytics::report::Series;
+use vmp_analytics::store::{ViewRef, ViewStore};
+
+/// Which share to plot over time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShareKind {
+    /// % of publishers supporting the value (Fig 2(a), 7, 11(a)).
+    Publishers,
+    /// % of view-hours carried by the value (Fig 2(b), 6(a), 11(b)).
+    ViewHours,
+    /// % of views carried by the value (Fig 6(c)).
+    Views,
+}
+
+/// Minimum share of a publisher's view-hours for a dimension value to count
+/// as "supported" (filters the rare device-fallback views).
+pub const SUPPORT_FLOOR: f64 = 0.01;
+
+/// Builds a per-snapshot share series for a fixed set of dimension values.
+pub fn share_series<V: Ord + Clone + Display>(
+    store: &ViewStore,
+    title: &str,
+    values: &[V],
+    extract: impl for<'a> Fn(&ViewRef<'a>) -> Vec<V> + Copy,
+    kind: ShareKind,
+) -> Series {
+    let mut series = Series::new(title, "snapshot");
+    let snapshots = store.snapshots();
+    for value in values {
+        let mut points = Vec::with_capacity(snapshots.len());
+        for snapshot in &snapshots {
+            let shares = match kind {
+                ShareKind::Publishers => {
+                    query::publisher_share_by(store.at(*snapshot), extract, SUPPORT_FLOOR)
+                }
+                ShareKind::ViewHours => query::vh_share_by(store.at(*snapshot), extract),
+                ShareKind::Views => query::views_share_by(store.at(*snapshot), extract),
+            };
+            let y = shares.get(value).copied().unwrap_or(0.0);
+            points.push((snapshot.to_string(), y));
+        }
+        series.line(value.to_string(), points);
+    }
+    series
+}
+
+/// Builds the three per-publisher-count artifacts shared by Figs 3, 9, 12:
+/// (a) count histogram by % publishers / % view-hours,
+/// (b) count distribution bucketed by publisher view-hours,
+/// (c) average and weighted-average count per snapshot.
+pub fn counts_figure<V: Ord + Clone>(
+    store: &ViewStore,
+    dim_name: &str,
+    extract: impl for<'a> Fn(&ViewRef<'a>) -> Vec<V> + Copy,
+) -> (vmp_analytics::report::Table, vmp_analytics::report::Table, Series) {
+    use vmp_analytics::perpub::{
+        count_histogram, counts_by_size_bucket, counts_per_publisher, CountsOverTime,
+    };
+    use vmp_analytics::report::Table;
+
+    let last = store.latest_snapshot().expect("store has data");
+    let counts = counts_per_publisher(store, last, extract, SUPPORT_FLOOR);
+
+    let mut hist_table = Table::new(
+        format!("(a) number of {dim_name} per publisher (last snapshot)"),
+        vec!["count", "% of publishers", "% of view-hours"],
+    );
+    for (count, (pubs, vh)) in count_histogram(&counts) {
+        hist_table.row(vec![count.to_string(), format!("{pubs:.1}"), format!("{vh:.1}")]);
+    }
+
+    let mut bucket_table = Table::new(
+        format!("(b) number of {dim_name} bucketed by publisher view-hours"),
+        vec!["bucket", "% of publishers", "count distribution within bucket"],
+    );
+    for (bucket, (share, dist)) in
+        counts_by_size_bucket(&counts, vmp_synth::trends::X_VIEW_HOURS)
+    {
+        let label = if bucket == 0 {
+            "<X".to_string()
+        } else {
+            format!("10^{}X..10^{}X", bucket - 1, bucket)
+        };
+        let dist_text = dist
+            .iter()
+            .map(|(c, p)| format!("{c}:{p:.0}%"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        bucket_table.row(vec![label, format!("{share:.1}"), dist_text]);
+    }
+
+    let over_time = CountsOverTime::compute(store, extract, SUPPORT_FLOOR);
+    let mut series = Series::new(
+        format!("(c) average number of {dim_name} per publisher over time"),
+        "snapshot",
+    );
+    series.line(
+        "average",
+        over_time.points.iter().map(|(s, a, _)| (s.to_string(), *a)).collect(),
+    );
+    series.line(
+        "weighted average",
+        over_time.points.iter().map(|(s, _, w)| (s.to_string(), *w)).collect(),
+    );
+
+    (hist_table, bucket_table, series)
+}
+
+/// Extracts `(count → (%pubs, %vh))` back out of a counts histogram table.
+pub fn histogram_entry(table: &vmp_analytics::report::Table, count: usize) -> Option<(f64, f64)> {
+    let row = table.rows.iter().find(|r| r[0] == count.to_string())?;
+    Some((row[1].parse().ok()?, row[2].parse().ok()?))
+}
+
+/// Share of publishers (and of view-hours) with count ≥ `min` in a counts
+/// histogram table.
+pub fn share_with_at_least(table: &vmp_analytics::report::Table, min: usize) -> (f64, f64) {
+    let mut pubs = 0.0;
+    let mut vh = 0.0;
+    for row in &table.rows {
+        if row[0].parse::<usize>().map(|c| c >= min).unwrap_or(false) {
+            pubs += row[1].parse::<f64>().unwrap_or(0.0);
+            vh += row[2].parse::<f64>().unwrap_or(0.0);
+        }
+    }
+    (pubs, vh)
+}
+
+/// First and last y values of a named line in a series.
+pub fn endpoints(series: &Series, line: &str) -> Option<(f64, f64)> {
+    let (_, points) = series.lines.iter().find(|(name, _)| name == line)?;
+    Some((points.first()?.1, points.last()?.1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmp_core::protocol::StreamingProtocol;
+
+    #[test]
+    fn endpoints_reads_series() {
+        let mut s = Series::new("t", "x");
+        s.line("HLS", vec![("a".into(), 80.0), ("b".into(), 91.0)]);
+        assert_eq!(endpoints(&s, "HLS"), Some((80.0, 91.0)));
+        assert_eq!(endpoints(&s, "DASH"), None);
+    }
+
+    #[test]
+    fn share_series_runs_on_empty_store() {
+        let store = ViewStore::ingest(vec![]);
+        let s = share_series(
+            &store,
+            "t",
+            &[StreamingProtocol::Hls],
+            vmp_analytics::query::protocol_dim,
+            ShareKind::ViewHours,
+        );
+        assert_eq!(s.lines.len(), 1);
+        assert!(s.lines[0].1.is_empty());
+    }
+}

@@ -1,0 +1,61 @@
+//! # vmp-experiments — one driver per table/figure of the paper
+//!
+//! Each driver regenerates its artifact from the synthetic ecosystem (or a
+//! dedicated simulation for §6) and returns an [`ExperimentResult`]: the
+//! printable tables/series plus a set of *qualitative checks* encoding the
+//! paper's claims (orderings, crossovers, bounds). The `repro` binary runs
+//! drivers and prints everything; the workspace integration tests assert
+//! every check.
+//!
+//! The experiment IDs match DESIGN.md §3: `tab1`, `fig02` … `fig18`,
+//! `summary`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod figures;
+pub mod result;
+
+pub use context::{ReproContext, Scale};
+pub use result::{Check, ExperimentResult};
+
+/// All paper-artifact experiment IDs in paper order.
+pub const ALL_EXPERIMENTS: [&str; 19] = [
+    "tab1", "fig02", "fig03", "fig04", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10",
+    "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "summary",
+];
+
+/// Ablation experiments beyond the paper (run with `repro --ablations` or
+/// by ID).
+pub const ABLATIONS: [&str; 4] = ["abl-abr", "abl-dedup", "abl-broker", "abl-live"];
+
+/// Runs one experiment by ID.
+pub fn run(id: &str, ctx: &ReproContext) -> Option<ExperimentResult> {
+    match id {
+        "tab1" => Some(figures::tab1::run()),
+        "fig02" => Some(figures::fig02::run(ctx)),
+        "fig03" => Some(figures::fig03::run(ctx)),
+        "fig04" => Some(figures::fig04::run(ctx)),
+        "fig05" => Some(figures::fig05::run()),
+        "fig06" => Some(figures::fig06::run(ctx)),
+        "fig07" => Some(figures::fig07::run(ctx)),
+        "fig08" => Some(figures::fig08::run(ctx)),
+        "fig09" => Some(figures::fig09::run(ctx)),
+        "fig10" => Some(figures::fig10::run(ctx)),
+        "fig11" => Some(figures::fig11::run(ctx)),
+        "fig12" => Some(figures::fig12::run(ctx)),
+        "fig13" => Some(figures::fig13::run(ctx)),
+        "fig14" => Some(figures::fig14::run(ctx)),
+        "fig15" => Some(figures::fig15::run(ctx)),
+        "fig16" => Some(figures::fig16::run(ctx)),
+        "fig17" => Some(figures::fig17::run()),
+        "fig18" => Some(figures::fig18::run(ctx)),
+        "summary" => Some(figures::summary::run(ctx)),
+        "abl-abr" => Some(figures::ablations::run_abr()),
+        "abl-dedup" => Some(figures::ablations::run_dedup()),
+        "abl-broker" => Some(figures::ablations::run_broker()),
+        "abl-live" => Some(figures::ablations::run_live_latency()),
+        _ => None,
+    }
+}

@@ -1,0 +1,125 @@
+//! Experiment result types.
+
+use serde::Serialize;
+use std::fmt;
+use vmp_analytics::report::{Series, Table};
+
+/// A qualitative assertion encoding one of the paper's claims about the
+/// artifact (e.g. "HLS supported by ≈91% of publishers in the last
+/// snapshot"). Integration tests fail when a check fails.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Check {
+    /// Short name.
+    pub name: String,
+    /// Whether it held on this run.
+    pub passed: bool,
+    /// Measured-vs-expected detail.
+    pub detail: String,
+}
+
+impl Check {
+    /// Builds a check from a predicate and detail text.
+    pub fn new(name: impl Into<String>, passed: bool, detail: impl Into<String>) -> Check {
+        Check { name: name.into(), passed, detail: detail.into() }
+    }
+
+    /// Checks that `value` lies in `[lo, hi]`.
+    pub fn in_range(name: impl Into<String>, value: f64, lo: f64, hi: f64) -> Check {
+        Check {
+            name: name.into(),
+            passed: value >= lo && value <= hi,
+            detail: format!("measured {value:.2}, expected [{lo:.2}, {hi:.2}]"),
+        }
+    }
+}
+
+/// Everything one driver produces.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExperimentResult {
+    /// Experiment ID (`fig02`, ...).
+    pub id: String,
+    /// Human title (paper artifact name).
+    pub title: String,
+    /// Rendered tables.
+    pub tables: Vec<Table>,
+    /// Rendered series.
+    pub series: Vec<Series>,
+    /// Free-form notes (caveats, paper-vs-measured commentary).
+    pub notes: Vec<String>,
+    /// Qualitative checks.
+    pub checks: Vec<Check>,
+}
+
+impl ExperimentResult {
+    /// Creates an empty result.
+    pub fn new(id: &str, title: impl Into<String>) -> ExperimentResult {
+        ExperimentResult {
+            id: id.to_string(),
+            title: title.into(),
+            tables: Vec::new(),
+            series: Vec::new(),
+            notes: Vec::new(),
+            checks: Vec::new(),
+        }
+    }
+
+    /// Whether every check passed.
+    pub fn all_passed(&self) -> bool {
+        self.checks.iter().all(|c| c.passed)
+    }
+
+    /// Names of failed checks.
+    pub fn failures(&self) -> Vec<&Check> {
+        self.checks.iter().filter(|c| !c.passed).collect()
+    }
+}
+
+impl fmt::Display for ExperimentResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "\n=== [{}] {} ===", self.id, self.title)?;
+        for t in &self.tables {
+            writeln!(f, "{t}")?;
+        }
+        for s in &self.series {
+            writeln!(f, "{s}")?;
+        }
+        for n in &self.notes {
+            writeln!(f, "note: {n}")?;
+        }
+        for c in &self.checks {
+            writeln!(
+                f,
+                "check {} {}: {}",
+                if c.passed { "PASS" } else { "FAIL" },
+                c.name,
+                c.detail
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_check() {
+        assert!(Check::in_range("x", 5.0, 4.0, 6.0).passed);
+        assert!(!Check::in_range("x", 7.0, 4.0, 6.0).passed);
+        assert!(Check::in_range("x", 4.0, 4.0, 6.0).passed);
+    }
+
+    #[test]
+    fn result_aggregation_and_display() {
+        let mut r = ExperimentResult::new("fig99", "Demo");
+        r.checks.push(Check::new("a", true, "ok"));
+        r.checks.push(Check::new("b", false, "bad"));
+        assert!(!r.all_passed());
+        assert_eq!(r.failures().len(), 1);
+        let text = r.to_string();
+        assert!(text.contains("check PASS a"));
+        assert!(text.contains("check FAIL b"));
+        assert!(text.contains("[fig99] Demo"));
+    }
+}

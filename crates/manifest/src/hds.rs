@@ -1,0 +1,163 @@
+//! Adobe HTTP Dynamic Streaming `.f4m` manifests.
+//!
+//! An F4M document lists one `<media>` element per encoding with a `bitrate`
+//! attribute (in kbps, unlike the other formats) and a `url` attribute.
+//! HDS was already in decline during the study (19% of publishers by the
+//! last snapshot) but the packager still needs to emit it, and analytics
+//! still needs to classify its URLs.
+
+use crate::types::{ManifestError, MediaPresentation, PresentationBuilder};
+use crate::xml::{parse as parse_xml, Element};
+use vmp_core::ladder::{BitrateLadder, LadderRung, Resolution};
+use vmp_core::protocol::Codec;
+use vmp_core::units::{Kbps, Seconds};
+
+/// Renders the F4M manifest for a presentation.
+pub fn write_f4m(p: &MediaPresentation) -> String {
+    let mut root = Element::new("manifest")
+        .attr("xmlns", "http://ns.adobe.com/f4m/1.0")
+        .child(Element::new("id").with_text(p.content_token.clone()))
+        .child(
+            Element::new("streamType")
+                .with_text(if p.is_live() { "live" } else { "recorded" }),
+        )
+        .child(Element::new("baseURL").with_text(p.base_url.clone()));
+    if let Some(total) = p.total_duration {
+        root = root.child(Element::new("duration").with_text(format!("{:.3}", total.0)));
+    }
+    // HDS fragments: advertise the chunk duration via a bootstrap stand-in.
+    root = root.child(
+        Element::new("bootstrapInfo")
+            .attr("profile", "named")
+            .attr("id", "bootstrap0")
+            .attr("fragmentDuration", format!("{:.3}", p.chunk_duration.0)),
+    );
+    for rung in p.ladder.rungs() {
+        root = root.child(
+            Element::new("media")
+                .attr("bitrate", rung.bitrate.0.to_string())
+                .attr("width", rung.resolution.width.to_string())
+                .attr("height", rung.resolution.height.to_string())
+                .attr("url", format!("{}/v{}/", p.content_token, rung.bitrate.0))
+                .attr("bootstrapInfoId", "bootstrap0"),
+        );
+    }
+    root.to_document()
+}
+
+/// Parses an F4M manifest back into a [`MediaPresentation`].
+///
+/// F4M carries no audio rendition list in our profile, so audio defaults to
+/// a single 128 kbps track (the builder default).
+pub fn parse_f4m(input: &str) -> Result<MediaPresentation, ManifestError> {
+    let root =
+        parse_xml(input).map_err(|e| ManifestError::parse("F4M", 0, e.to_string()))?;
+    if root.name != "manifest" {
+        return Err(ManifestError::parse("F4M", 0, format!("root is <{}>", root.name)));
+    }
+    let content_token = root
+        .find("id")
+        .map(|e| e.text.clone())
+        .unwrap_or_default();
+    let live = root
+        .find("streamType")
+        .map(|e| e.text == "live")
+        .unwrap_or(false);
+    let base_url = root.find("baseURL").map(|e| e.text.clone()).unwrap_or_default();
+    let total = root
+        .find("duration")
+        .and_then(|e| e.text.parse::<f64>().ok())
+        .map(Seconds);
+    let chunk_duration = root
+        .find("bootstrapInfo")
+        .and_then(|e| e.parse_attr::<f64>("fragmentDuration"))
+        .map(Seconds)
+        .ok_or_else(|| ManifestError::parse("F4M", 0, "missing bootstrapInfo fragmentDuration"))?;
+
+    let mut rungs = Vec::new();
+    for media in root.find_all("media") {
+        let bitrate: u32 = media
+            .parse_attr("bitrate")
+            .ok_or_else(|| ManifestError::parse("F4M", 0, "media without bitrate"))?;
+        let width: u32 = media.parse_attr("width").unwrap_or(0);
+        let height: u32 = media.parse_attr("height").unwrap_or(0);
+        rungs.push(LadderRung {
+            bitrate: Kbps(bitrate),
+            resolution: Resolution { width, height },
+            codec: Codec::H264,
+        });
+    }
+    let ladder =
+        BitrateLadder::new(rungs).map_err(|e| ManifestError::parse("F4M", 0, e.to_string()))?;
+
+    let mut builder = PresentationBuilder::new(content_token, ladder)
+        .chunk_duration(chunk_duration)
+        .base_url(base_url);
+    if !live {
+        let total =
+            total.ok_or_else(|| ManifestError::parse("F4M", 0, "recorded stream without duration"))?;
+        builder = builder.vod(total);
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn presentation() -> MediaPresentation {
+        PresentationBuilder::new(
+            "hds7",
+            BitrateLadder::from_bitrates(&[500, 1000, 2000]).unwrap(),
+        )
+        .chunk_duration(Seconds(6.0))
+        .vod(Seconds(300.0))
+        .base_url("https://x.aws.example.com/cache")
+        .build()
+        .unwrap()
+    }
+
+    #[test]
+    fn f4m_round_trip() {
+        let p = presentation();
+        let text = write_f4m(&p);
+        let back = parse_f4m(&text).unwrap();
+        assert_eq!(back.content_token, "hds7");
+        assert_eq!(back.ladder.bitrates(), p.ladder.bitrates());
+        assert_eq!(back.base_url, p.base_url);
+        assert!((back.chunk_duration.0 - 6.0).abs() < 1e-9);
+        assert!((back.total_duration.unwrap().0 - 300.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn live_f4m() {
+        let p = PresentationBuilder::new("ev", BitrateLadder::from_bitrates(&[700]).unwrap())
+            .chunk_duration(Seconds(4.0))
+            .build()
+            .unwrap();
+        let text = write_f4m(&p);
+        assert!(text.contains("live"));
+        let back = parse_f4m(&text).unwrap();
+        assert!(back.is_live());
+    }
+
+    #[test]
+    fn bitrates_are_kbps_not_bps() {
+        let text = write_f4m(&presentation());
+        assert!(text.contains("bitrate=\"500\""));
+        assert!(!text.contains("bitrate=\"500000\""));
+    }
+
+    #[test]
+    fn rejects_malformed_f4m() {
+        assert!(parse_f4m("<x/>").is_err());
+        assert!(parse_f4m("nope").is_err());
+        let no_bitrate = "<manifest><id>x</id><streamType>recorded</streamType>\
+            <duration>10</duration>\
+            <bootstrapInfo fragmentDuration=\"4\"/><media url=\"u\"/></manifest>";
+        assert!(parse_f4m(no_bitrate).is_err());
+        let no_duration = "<manifest><id>x</id><streamType>recorded</streamType>\
+            <bootstrapInfo fragmentDuration=\"4\"/><media bitrate=\"500\" url=\"u\"/></manifest>";
+        assert!(parse_f4m(no_duration).is_err());
+    }
+}

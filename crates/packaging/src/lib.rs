@@ -1,0 +1,29 @@
+//! # vmp-packaging — the packaging half of the management plane
+//!
+//! §2's packaging function, implemented: transcode the master file into a
+//! bitrate ladder, break each encoding into chunks, encapsulate the chunks
+//! under each supported streaming protocol, and account for the compute,
+//! latency and storage that costs.
+//!
+//! * [`ladder`] builds guideline-compliant bitrate ladders (the HLS
+//!   authoring guidelines the paper cites in §6: a rung under 192 kbps and
+//!   successive rungs within 1.5–2×), plus per-title variants.
+//! * [`transcode`] models the encoding stage: CPU cost and live latency per
+//!   rung, optional DRM wrapping.
+//! * [`chunker`] splits an encoding into fixed-playback-duration chunks (or
+//!   byte ranges) with per-chunk byte sizes.
+//! * [`package`] drives the pipeline for one (title, protocol, CDN) triple
+//!   and produces the real manifest text plus a storage ledger; the
+//!   *protocol-titles* complexity metric (§5) counts these jobs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chunker;
+pub mod ladder;
+pub mod package;
+pub mod transcode;
+
+pub use chunker::{Chunk, ChunkingPlan};
+pub use ladder::LadderSpec;
+pub use package::{PackagedTitle, Packager, PackagingError};

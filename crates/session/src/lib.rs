@@ -1,0 +1,21 @@
+//! # vmp-session — the playback session simulator
+//!
+//! One run of [`player::Player`] is one *view*: the unit every analysis in
+//! the paper counts. The player drives a discrete-event download loop —
+//! manifest-declared ladder, ABR decision per chunk, Markov bandwidth, edge
+//! cache hits/misses, anycast resets, optional mid-stream CDN failover —
+//! and produces the per-view QoE (average bitrate, rebuffering ratio) that
+//! Fig 15/16 compare between owners and syndicators.
+//!
+//! [`telemetry`] assembles the full §3 [`vmp_core::view::ViewRecord`] from a
+//! session outcome plus client context; this *is* the monitoring library
+//! that Conviva embeds in players.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod player;
+pub mod telemetry;
+
+pub use player::{MultiCdnContext, PlaybackConfig, Player, SessionOutcome};
+pub use telemetry::{ClientContext, TelemetryBuilder};

@@ -1,0 +1,455 @@
+//! The discrete-event playback loop.
+
+use vmp_abr::algorithm::{AbrAlgorithm, AbrState};
+use vmp_abr::network::NetworkModel;
+use vmp_abr::predict::{HarmonicMeanPredictor, ThroughputPredictor};
+use vmp_cdn::broker::Broker;
+use vmp_cdn::edge::{CacheOutcome, EdgeCluster};
+use vmp_cdn::routing::Router;
+use vmp_cdn::strategy::CdnStrategy;
+use vmp_core::cdn::CdnName;
+use vmp_core::content::ContentClass;
+use vmp_core::ladder::BitrateLadder;
+use vmp_core::qoe::QoeSummary;
+use vmp_core::units::{Kbps, Seconds};
+use vmp_stats::Rng;
+
+/// Static configuration of one playback session.
+#[derive(Debug, Clone)]
+pub struct PlaybackConfig {
+    /// The advertised ladder.
+    pub ladder: BitrateLadder,
+    /// Nominal chunk duration.
+    pub chunk_duration: Seconds,
+    /// Total media length of the title.
+    pub content_duration: Seconds,
+    /// How much media the user intends to watch before leaving (abandoning
+    /// early is the normal case; §4.2 shows short mobile views).
+    pub intended_watch: Seconds,
+    /// Media buffered before playback starts.
+    pub startup_buffer: Seconds,
+    /// Maximum client buffer.
+    pub max_buffer: Seconds,
+    /// Live or VoD (live views cannot buffer ahead beyond the live edge;
+    /// modeled via a tight `max_buffer`).
+    pub class: ContentClass,
+}
+
+impl PlaybackConfig {
+    /// A standard VoD session watching `watch` of a `content`-long title.
+    pub fn vod(ladder: BitrateLadder, content: Seconds, watch: Seconds) -> PlaybackConfig {
+        PlaybackConfig {
+            ladder,
+            chunk_duration: Seconds(6.0),
+            content_duration: content,
+            intended_watch: watch,
+            startup_buffer: Seconds(6.0),
+            max_buffer: Seconds(60.0),
+            class: ContentClass::Vod,
+        }
+    }
+
+    /// A live session: small buffer, bounded by the event length.
+    pub fn live(ladder: BitrateLadder, event: Seconds, watch: Seconds) -> PlaybackConfig {
+        PlaybackConfig {
+            ladder,
+            chunk_duration: Seconds(4.0),
+            content_duration: event,
+            intended_watch: watch,
+            startup_buffer: Seconds(4.0),
+            max_buffer: Seconds(12.0),
+            class: ContentClass::Live,
+        }
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        if self.chunk_duration.0 <= 0.0 {
+            return Err("chunk duration must be positive".into());
+        }
+        if self.content_duration.0 < 0.0 || self.intended_watch.0 < 0.0 {
+            return Err("durations must be non-negative".into());
+        }
+        if self.max_buffer.0 < self.chunk_duration.0 {
+            return Err("max buffer must hold at least one chunk".into());
+        }
+        Ok(())
+    }
+}
+
+/// Multi-CDN context: broker-driven selection and mid-stream failover.
+pub struct MultiCdnContext<'a> {
+    /// The broker making per-view and failover decisions.
+    pub broker: &'a Broker,
+    /// The publisher's CDN strategy.
+    pub strategy: &'a CdnStrategy,
+    /// Per-chunk probability that the current CDN fails for this client.
+    pub failure_probability: f64,
+    /// Per-CDN infrastructure: router and shared edge cluster.
+    pub infrastructure: &'a mut dyn FnMut(CdnName, u64, vmp_core::units::Bytes, &mut Rng) -> ChunkServe,
+}
+
+/// How the CDN served one chunk.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChunkServe {
+    /// Edge cache outcome (miss adds origin fetch latency).
+    pub cache: CacheOutcome,
+    /// Whether an anycast route flap reset the connection.
+    pub connection_reset: bool,
+}
+
+impl ChunkServe {
+    /// A plain edge hit with no reset.
+    pub fn hit() -> ChunkServe {
+        ChunkServe { cache: CacheOutcome::Hit, connection_reset: false }
+    }
+}
+
+/// Builds a [`MultiCdnContext::infrastructure`] closure from per-CDN routers
+/// and edge clusters. Exposed so callers (synth, experiments) don't repeat
+/// the plumbing.
+pub fn infrastructure_fn<'a>(
+    routers: &'a std::collections::HashMap<CdnName, Router>,
+    edges: &'a mut std::collections::HashMap<CdnName, EdgeCluster>,
+    region_index: usize,
+) -> impl FnMut(CdnName, u64, vmp_core::units::Bytes, &mut Rng) -> ChunkServe + 'a {
+    move |cdn, chunk_key, size, rng| {
+        let reset = routers
+            .get(&cdn)
+            .map(|r| r.route_chunk(chunk_key, rng).connection_reset)
+            .unwrap_or(false);
+        let cache = edges
+            .get_mut(&cdn)
+            .map(|e| e.fetch(region_index, chunk_key ^ (cdn.dense_index() as u64) << 56, size))
+            .unwrap_or(CacheOutcome::Hit);
+        ChunkServe { cache, connection_reset: reset }
+    }
+}
+
+/// Result of a simulated view.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionOutcome {
+    /// Per-view QoE summary.
+    pub qoe: QoeSummary,
+    /// Bitrate chosen for each downloaded chunk.
+    pub bitrates_used: Vec<Kbps>,
+    /// CDNs used, in order of first use (≥ 1 entry).
+    pub cdns: Vec<CdnName>,
+    /// Media actually downloaded (= played, since users leave at
+    /// `intended_watch`).
+    pub downloaded: Seconds,
+}
+
+/// The player: owns the per-session mutable state.
+pub struct Player<'a> {
+    config: PlaybackConfig,
+    network: NetworkModel,
+    abr: &'a dyn AbrAlgorithm,
+}
+
+impl<'a> Player<'a> {
+    /// Creates a player.
+    pub fn new(
+        config: PlaybackConfig,
+        network: NetworkModel,
+        abr: &'a dyn AbrAlgorithm,
+    ) -> Result<Player<'a>, String> {
+        config.validate()?;
+        Ok(Player { config, network, abr })
+    }
+
+    /// Plays a single-CDN session with ideal (always-hit) edges.
+    pub fn play(&mut self, cdn: CdnName, rng: &mut Rng) -> SessionOutcome {
+        let mut serve = |_c: CdnName, _k: u64, _s: vmp_core::units::Bytes, _r: &mut Rng| ChunkServe::hit();
+        self.run(cdn, None, &mut serve, rng)
+    }
+
+    /// Plays a session against real CDN infrastructure, with optional
+    /// broker-driven failover.
+    pub fn play_multi_cdn(&mut self, ctx: &mut MultiCdnContext<'_>, rng: &mut Rng) -> SessionOutcome {
+        let initial = ctx
+            .broker
+            .select(ctx.strategy, self.config.class, rng)
+            .unwrap_or_else(|| ctx.strategy.cdns()[0]);
+        let failover = Some((ctx.broker, ctx.strategy, ctx.failure_probability));
+        // Split borrows: the closure is separate from the broker references.
+        let serve = &mut *ctx.infrastructure;
+        self.run(initial, failover, serve, rng)
+    }
+
+    fn run(
+        &mut self,
+        initial_cdn: CdnName,
+        failover: Option<(&Broker, &CdnStrategy, f64)>,
+        serve: &mut dyn FnMut(CdnName, u64, vmp_core::units::Bytes, &mut Rng) -> ChunkServe,
+        rng: &mut Rng,
+    ) -> SessionOutcome {
+        let cfg = &self.config;
+        let target = Seconds(cfg.intended_watch.0.min(cfg.content_duration.0));
+        let mut predictor = HarmonicMeanPredictor::new(5);
+
+        let mut cdn = initial_cdn;
+        let mut cdns = vec![cdn];
+        let mut bitrates_used = Vec::new();
+        let mut buffer = Seconds::ZERO;
+        let mut started = false;
+        let mut startup_delay = Seconds::ZERO;
+        let mut rebuffer = Seconds::ZERO;
+        let mut downloaded = Seconds::ZERO;
+        let mut weighted_bits = 0.0f64;
+        let mut switches = 0u32;
+        let mut cdn_switches = 0u32;
+        let mut last_bitrate = Kbps::ZERO;
+        let mut chunk_index = 0u64;
+
+        while downloaded.0 + 1e-9 < target.0 {
+            let this_chunk = Seconds(cfg.chunk_duration.0.min(target.0 - downloaded.0));
+            // CDN failure / failover check.
+            if let Some((broker, strategy, p_fail)) = failover {
+                if rng.chance(p_fail) {
+                    if let Some(next) = broker.failover(strategy, cfg.class, cdn, rng) {
+                        cdn = next;
+                        if !cdns.contains(&cdn) {
+                            cdns.push(cdn);
+                        }
+                        cdn_switches += 1;
+                        predictor.reset();
+                    }
+                }
+            }
+            // ABR decision.
+            let state = AbrState {
+                buffer,
+                predicted_throughput: predictor.estimate(),
+                last_bitrate,
+                chunk_duration: cfg.chunk_duration,
+            };
+            let bitrate = self.abr.choose(&cfg.ladder, &state);
+            if last_bitrate != Kbps::ZERO && bitrate != last_bitrate {
+                switches += 1;
+            }
+
+            // Download.
+            let size = bitrate.bytes_for(this_chunk);
+            let throughput = self.network.next_throughput(rng);
+            let rtt = self.network.rtt(rng);
+            let served = serve(cdn, chunk_index ^ (bitrate.0 as u64) << 40, size, rng);
+            let mut latency = rtt.0;
+            if served.cache == CacheOutcome::Miss {
+                latency += 3.0 * rtt.0; // origin fetch behind the edge
+            }
+            if served.connection_reset {
+                latency += 2.0 * rtt.0; // TCP reconnect after a route flap
+            }
+            let transfer = size.0 as f64 * 8.0 / (throughput.bits_per_sec() as f64);
+            let download_time = Seconds(transfer + latency);
+
+            // Buffer dynamics.
+            if !started {
+                startup_delay += download_time;
+                buffer += this_chunk;
+                if buffer.0 >= cfg.startup_buffer.0.min(target.0) {
+                    started = true;
+                }
+            } else {
+                let after_drain = buffer.0 - download_time.0;
+                if after_drain < 0.0 {
+                    rebuffer += Seconds(-after_drain);
+                    buffer = Seconds::ZERO;
+                } else {
+                    buffer = Seconds(after_drain);
+                }
+                buffer += this_chunk;
+                if buffer.0 > cfg.max_buffer.0 {
+                    // Pace: the player idles while the buffer drains to the
+                    // cap. No stall — media plays during the wait.
+                    buffer = cfg.max_buffer;
+                }
+            }
+
+            // Bookkeeping.
+            let effective_throughput = if download_time.0 > 0.0 {
+                Kbps((size.0 as f64 * 8.0 / download_time.0 / 1000.0) as u32)
+            } else {
+                throughput
+            };
+            predictor.observe(effective_throughput);
+            weighted_bits += bitrate.0 as f64 * this_chunk.0;
+            bitrates_used.push(bitrate);
+            last_bitrate = bitrate;
+            downloaded += this_chunk;
+            chunk_index += 1;
+        }
+
+        let played = downloaded;
+        let avg_bitrate = if played.0 > 0.0 {
+            Kbps((weighted_bits / played.0) as u32)
+        } else {
+            Kbps::ZERO
+        };
+        SessionOutcome {
+            qoe: QoeSummary {
+                avg_bitrate,
+                played,
+                rebuffer_time: rebuffer,
+                startup_delay,
+                bitrate_switches: switches,
+                cdn_switches,
+            },
+            bitrates_used,
+            cdns,
+            downloaded,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmp_abr::algorithm::{Bba, ThroughputRule};
+    use vmp_abr::network::NetworkProfile;
+    use vmp_core::geo::ConnectionType;
+
+    fn ladder() -> BitrateLadder {
+        BitrateLadder::from_bitrates(&[400, 800, 1600, 3200, 6400]).unwrap()
+    }
+
+    fn network(quality: f64) -> NetworkModel {
+        NetworkModel::new(NetworkProfile::for_connection(ConnectionType::Wifi, quality))
+    }
+
+    fn play_once(quality: f64, seed: u64) -> SessionOutcome {
+        let cfg = PlaybackConfig::vod(ladder(), Seconds(1200.0), Seconds(600.0));
+        let abr = ThroughputRule::default();
+        let mut player = Player::new(cfg, network(quality), &abr).unwrap();
+        let mut rng = Rng::seed_from(seed);
+        player.play(CdnName::A, &mut rng)
+    }
+
+    #[test]
+    fn watches_exactly_the_intended_duration() {
+        let out = play_once(1.0, 1);
+        assert!((out.downloaded.0 - 600.0).abs() < 1e-6);
+        assert!((out.qoe.played.0 - 600.0).abs() < 1e-6);
+        assert_eq!(out.cdns, vec![CdnName::A]);
+    }
+
+    #[test]
+    fn average_bitrate_within_ladder_bounds() {
+        for seed in 0..10 {
+            let out = play_once(1.0, seed);
+            assert!(out.qoe.avg_bitrate >= Kbps(400));
+            assert!(out.qoe.avg_bitrate <= Kbps(6400));
+        }
+    }
+
+    #[test]
+    fn better_network_gives_better_qoe() {
+        let n = 30;
+        let avg = |q: f64| {
+            (0..n).map(|s| play_once(q, s).qoe.avg_bitrate.0 as f64).sum::<f64>() / n as f64
+        };
+        let rebuf = |q: f64| {
+            (0..n).map(|s| play_once(q, s).qoe.rebuffer_ratio()).sum::<f64>() / n as f64
+        };
+        assert!(avg(1.5) > avg(0.3), "bitrate: {} vs {}", avg(1.5), avg(0.3));
+        assert!(rebuf(0.2) >= rebuf(1.5), "rebuffer: {} vs {}", rebuf(0.2), rebuf(1.5));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = play_once(1.0, 42);
+        let b = play_once(1.0, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn qoe_invariants_hold() {
+        for seed in 0..20 {
+            let out = play_once(0.4, seed);
+            assert!(out.qoe.rebuffer_time.0 >= 0.0);
+            assert!(out.qoe.startup_delay.0 >= 0.0);
+            let ratio = out.qoe.rebuffer_ratio();
+            assert!((0.0..=1.0).contains(&ratio));
+            assert_eq!(out.bitrates_used.len() as f64, (600.0f64 / 6.0).ceil());
+        }
+    }
+
+    #[test]
+    fn short_view_shorter_than_content() {
+        let cfg = PlaybackConfig::vod(ladder(), Seconds(120.0), Seconds(1_000_000.0));
+        let abr = Bba::default();
+        let mut player = Player::new(cfg, network(1.0), &abr).unwrap();
+        let mut rng = Rng::seed_from(7);
+        let out = player.play(CdnName::B, &mut rng);
+        // Capped at content length.
+        assert!((out.downloaded.0 - 120.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_watch_is_safe() {
+        let cfg = PlaybackConfig::vod(ladder(), Seconds(120.0), Seconds(0.0));
+        let abr = ThroughputRule::default();
+        let mut player = Player::new(cfg, network(1.0), &abr).unwrap();
+        let mut rng = Rng::seed_from(8);
+        let out = player.play(CdnName::A, &mut rng);
+        assert_eq!(out.bitrates_used.len(), 0);
+        assert_eq!(out.qoe.avg_bitrate, Kbps::ZERO);
+        assert_eq!(out.qoe.rebuffer_ratio(), 0.0);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut cfg = PlaybackConfig::vod(ladder(), Seconds(100.0), Seconds(50.0));
+        cfg.chunk_duration = Seconds(0.0);
+        assert!(Player::new(cfg, network(1.0), &ThroughputRule::default()).is_err());
+        let mut cfg = PlaybackConfig::vod(ladder(), Seconds(100.0), Seconds(50.0));
+        cfg.max_buffer = Seconds(1.0);
+        assert!(Player::new(cfg, network(1.0), &ThroughputRule::default()).is_err());
+    }
+
+    #[test]
+    fn multi_cdn_failover_switches_cdns() {
+        use vmp_cdn::broker::BrokerPolicy;
+        use vmp_cdn::strategy::{CdnAssignment, CdnScope};
+        let strategy = CdnStrategy::new(vec![
+            CdnAssignment { cdn: CdnName::A, weight: 1.0, scope: CdnScope::All },
+            CdnAssignment { cdn: CdnName::B, weight: 1.0, scope: CdnScope::All },
+        ])
+        .unwrap();
+        let broker = Broker::new(BrokerPolicy::Weighted);
+        let cfg = PlaybackConfig::vod(ladder(), Seconds(3600.0), Seconds(1800.0));
+        let abr = ThroughputRule::default();
+        let mut player = Player::new(cfg, network(1.0), &abr).unwrap();
+        let mut infra = |_c: CdnName, _k: u64, _s: vmp_core::units::Bytes, _r: &mut Rng| ChunkServe::hit();
+        let mut ctx = MultiCdnContext {
+            broker: &broker,
+            strategy: &strategy,
+            failure_probability: 0.05,
+            infrastructure: &mut infra,
+        };
+        let mut rng = Rng::seed_from(11);
+        let out = player.play_multi_cdn(&mut ctx, &mut rng);
+        assert!(out.qoe.cdn_switches > 0, "expected at least one failover");
+        assert_eq!(out.cdns.len(), 2);
+    }
+
+    #[test]
+    fn cache_misses_hurt_startup() {
+        let cfg = PlaybackConfig::vod(ladder(), Seconds(600.0), Seconds(300.0));
+        let abr = ThroughputRule::default();
+        // All-miss CDN.
+        let mut player = Player::new(cfg.clone(), network(1.0), &abr).unwrap();
+        let mut all_miss = |_c: CdnName, _k: u64, _s: vmp_core::units::Bytes, _r: &mut Rng| ChunkServe {
+            cache: CacheOutcome::Miss,
+            connection_reset: false,
+        };
+        let mut rng = Rng::seed_from(9);
+        let miss_out = player.run(CdnName::A, None, &mut all_miss, &mut rng);
+        // All-hit CDN, same seed.
+        let mut player = Player::new(cfg, network(1.0), &abr).unwrap();
+        let mut all_hit = |_c: CdnName, _k: u64, _s: vmp_core::units::Bytes, _r: &mut Rng| ChunkServe::hit();
+        let mut rng = Rng::seed_from(9);
+        let hit_out = player.run(CdnName::A, None, &mut all_hit, &mut rng);
+        assert!(miss_out.qoe.startup_delay.0 > hit_out.qoe.startup_delay.0);
+    }
+}

@@ -1,0 +1,36 @@
+//! # vmp-stats — deterministic randomness and statistics for `vmp`
+//!
+//! The whole workspace must be reproducible: the same seed must regenerate
+//! the same figures bit-for-bit. This crate therefore owns
+//!
+//! * a small, fully-specified PRNG ([`rng::Rng`], xoshiro256\*\* seeded via
+//!   splitmix64) with hierarchical stream forking so independent simulation
+//!   components never share a stream;
+//! * samplers for the distributions the ecosystem model needs
+//!   ([`dist`]): uniform, Bernoulli, discrete/categorical, normal,
+//!   lognormal, exponential, Pareto, Zipf;
+//! * deterministic adoption curves ([`curves`]) used to model protocol and
+//!   platform adoption over the 27-month study;
+//! * descriptive statistics ([`desc`]): means, weighted means, quantiles,
+//!   empirical CDFs, log-scale histograms;
+//! * ordinary least squares with significance testing ([`regress`]), used
+//!   by the §5 complexity-vs-view-hours fits (slope, r², t-statistic and
+//!   p-value via the regularized incomplete beta function in [`special`]).
+//!
+//! Everything is pure computation (no I/O, no global state) and has no
+//! dependencies outside `std`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod curves;
+pub mod desc;
+pub mod dist;
+pub mod regress;
+pub mod rng;
+pub mod special;
+
+pub use desc::{weighted_mean, Cdf, Histogram, Summary};
+pub use dist::{Discrete, Distribution, Exponential, LogNormal, Normal, Pareto, Zipf};
+pub use regress::{ols, OlsFit};
+pub use rng::Rng;

@@ -1,0 +1,197 @@
+//! Ordinary least squares with significance testing.
+//!
+//! §5 fits straight lines to log-log scatter plots of complexity vs
+//! view-hours and reports the slope as a per-decade growth factor ("when
+//! view-hours increase by 10×, combinations increase by 1.72×") together
+//! with p-values below 1e-9. [`ols`] reproduces exactly that: slope,
+//! intercept, r², the slope's t-statistic, its two-sided p-value, and the
+//! `10^slope` growth-factor convenience.
+
+use crate::special::t_test_p_value;
+
+/// Result of a simple linear regression `y = intercept + slope * x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OlsFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination.
+    pub r_squared: f64,
+    /// Standard error of the slope.
+    pub slope_std_err: f64,
+    /// t-statistic of the slope against H₀: slope = 0.
+    pub t_statistic: f64,
+    /// Two-sided p-value of the slope.
+    pub p_value: f64,
+    /// Number of points.
+    pub n: usize,
+}
+
+impl OlsFit {
+    /// For log10-log10 fits: the multiplicative growth in `y` per 10× growth
+    /// in `x` (the paper's "1.72× per order of magnitude" phrasing).
+    pub fn growth_per_decade(&self) -> f64 {
+        10f64.powf(self.slope)
+    }
+
+    /// Predicted y at x.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+}
+
+/// Fits `y = a + b x` by least squares. Requires at least 3 finite points
+/// and non-degenerate x variance.
+///
+/// ```
+/// let xs = [1.0, 2.0, 3.0, 4.0];
+/// let ys = [2.9, 5.1, 7.0, 9.0];
+/// let fit = vmp_stats::ols(&xs, &ys).unwrap();
+/// assert!((fit.slope - 2.0).abs() < 0.1);
+/// assert!(fit.p_value < 0.01);
+/// ```
+pub fn ols(xs: &[f64], ys: &[f64]) -> Result<OlsFit, String> {
+    if xs.len() != ys.len() {
+        return Err(format!("length mismatch: {} xs vs {} ys", xs.len(), ys.len()));
+    }
+    let n = xs.len();
+    if n < 3 {
+        return Err(format!("need at least 3 points, got {n}"));
+    }
+    if xs.iter().chain(ys).any(|v| !v.is_finite()) {
+        return Err("non-finite input".into());
+    }
+    let nf = n as f64;
+    let mean_x = xs.iter().sum::<f64>() / nf;
+    let mean_y = ys.iter().sum::<f64>() / nf;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        let dx = x - mean_x;
+        let dy = y - mean_y;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    if sxx <= 0.0 {
+        return Err("x has zero variance".into());
+    }
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    // Residual sum of squares.
+    let ss_res: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| {
+            let e = y - (intercept + slope * x);
+            e * e
+        })
+        .sum();
+    let r_squared = if syy > 0.0 { 1.0 - ss_res / syy } else { 1.0 };
+    let df = nf - 2.0;
+    let sigma2 = if df > 0.0 { ss_res / df } else { 0.0 };
+    let slope_std_err = (sigma2 / sxx).sqrt();
+    let t_statistic = if slope_std_err > 0.0 {
+        slope / slope_std_err
+    } else if slope == 0.0 {
+        0.0
+    } else {
+        f64::INFINITY
+    };
+    let p_value = t_test_p_value(t_statistic, df);
+    Ok(OlsFit { slope, intercept, r_squared, slope_std_err, t_statistic, p_value, n })
+}
+
+/// Fits in log10–log10 space, dropping non-positive points (they have no
+/// logarithm); this is the §5 workflow. Returns the fit and how many points
+/// were dropped.
+pub fn ols_log_log(xs: &[f64], ys: &[f64]) -> Result<(OlsFit, usize), String> {
+    if xs.len() != ys.len() {
+        return Err("length mismatch".into());
+    }
+    let mut lx = Vec::with_capacity(xs.len());
+    let mut ly = Vec::with_capacity(ys.len());
+    let mut dropped = 0;
+    for (x, y) in xs.iter().zip(ys) {
+        if *x > 0.0 && *y > 0.0 && x.is_finite() && y.is_finite() {
+            lx.push(x.log10());
+            ly.push(y.log10());
+        } else {
+            dropped += 1;
+        }
+    }
+    let fit = ols(&lx, &ly)?;
+    Ok((fit, dropped))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Distribution, Normal};
+    use crate::rng::Rng;
+
+    #[test]
+    fn exact_line_is_recovered() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 + 2.0 * x).collect();
+        let fit = ols(&xs, &ys).unwrap();
+        assert!((fit.slope - 2.0).abs() < 1e-12);
+        assert!((fit.intercept - 3.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+        assert!(fit.p_value < 1e-9);
+        assert!((fit.predict(5.0) - 13.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_slope_recovered_with_significance() {
+        let mut rng = Rng::seed_from(17);
+        let noise = Normal::new(0.0, 0.5).unwrap();
+        let xs: Vec<f64> = (0..200).map(|i| i as f64 / 20.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 1.0 + 0.8 * x + noise.sample(&mut rng)).collect();
+        let fit = ols(&xs, &ys).unwrap();
+        assert!((fit.slope - 0.8).abs() < 0.05, "slope {}", fit.slope);
+        assert!(fit.p_value < 1e-9);
+        assert!(fit.r_squared > 0.7);
+    }
+
+    #[test]
+    fn flat_data_is_insignificant() {
+        let mut rng = Rng::seed_from(23);
+        let noise = Normal::new(0.0, 1.0).unwrap();
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|_| noise.sample(&mut rng)).collect();
+        let fit = ols(&xs, &ys).unwrap();
+        assert!(fit.p_value > 0.01, "p {}", fit.p_value);
+        assert!(fit.slope.abs() < 0.1);
+    }
+
+    #[test]
+    fn rejects_degenerate_input() {
+        assert!(ols(&[1.0, 2.0], &[1.0, 2.0]).is_err());
+        assert!(ols(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]).is_err());
+        assert!(ols(&[1.0, 2.0, f64::NAN], &[1.0, 2.0, 3.0]).is_err());
+        assert!(ols(&[1.0, 2.0, 3.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn log_log_growth_factor() {
+        // y = 10 * x^0.236  → growth per decade = 10^0.236 ≈ 1.72 (the
+        // paper's management-plane-combinations slope).
+        let xs: Vec<f64> = (1..=60).map(|i| 10f64.powf(i as f64 / 10.0)).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 10.0 * x.powf(0.236)).collect();
+        let (fit, dropped) = ols_log_log(&xs, &ys).unwrap();
+        assert_eq!(dropped, 0);
+        assert!((fit.growth_per_decade() - 1.72).abs() < 0.01);
+    }
+
+    #[test]
+    fn log_log_drops_nonpositive() {
+        let xs = [0.0, 1.0, 10.0, 100.0, 1000.0];
+        let ys = [5.0, 1.0, 2.0, 4.0, 8.0];
+        let (fit, dropped) = ols_log_log(&xs, &ys).unwrap();
+        assert_eq!(dropped, 1);
+        assert!((fit.growth_per_decade() - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,32 @@
+//! # vmp-syndication — §6: management of syndicated content
+//!
+//! Today each publisher runs an independent management plane, so when a
+//! syndicator licenses a catalogue it re-packages the mezzanine copy with
+//! its own ladder and pushes it to its own CDNs. The paper quantifies two
+//! resulting pathologies; this crate reproduces both plus the prevalence
+//! measurement:
+//!
+//! * [`catalogue`] — the §6 study objects: the owner's and ten syndicators'
+//!   bitrate ladders for one popular video ID (Fig 17) and their CDN sets.
+//! * [`prevalence`] — Fig 14: the CDF, across content owners, of the
+//!   fraction of full syndicators carrying each owner's content, measured
+//!   from the per-(publisher, video) ownership flags in telemetry.
+//! * [`qoe`] — Figs 15/16: like-for-like QoE comparison (California iPads,
+//!   fixed ISP×CDN pairs) between the owner's clients and a syndicator's
+//!   clients watching the *same* content through different ladders.
+//! * [`storage`] — Fig 18: CDN-origin storage for the catalogue under
+//!   independent syndication, tolerance-based dedup (5%/10%) and integrated
+//!   syndication.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalogue;
+pub mod prevalence;
+pub mod qoe;
+pub mod storage;
+
+pub use catalogue::{CatalogueStudy, FIG17_LADDERS};
+pub use prevalence::syndication_reach;
+pub use qoe::{qoe_comparison, QoeComparison, QoeScenario};
+pub use storage::{storage_study, StorageStudyResult};

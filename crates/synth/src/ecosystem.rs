@@ -1,0 +1,242 @@
+//! The ecosystem orchestrator: population → planes → weighted view samples.
+
+use crossbeam::thread;
+use vmp_core::ids::PublisherId;
+use vmp_core::time::SnapshotId;
+use vmp_core::view::SampledView;
+use vmp_stats::Rng;
+
+use crate::publisher_gen::PublisherProfile;
+use crate::syndigraph::SyndicationGraph;
+use crate::trends;
+use crate::views::{generate_views, ViewGenConfig};
+
+/// Full configuration of one ecosystem generation run.
+#[derive(Debug, Clone)]
+pub struct EcosystemConfig {
+    /// Master seed; everything derives from it.
+    pub seed: u64,
+    /// Number of publishers (the paper has "more than one hundred").
+    pub publishers: usize,
+    /// Per-cell sampling parameters.
+    pub view_gen: ViewGenConfig,
+    /// Generate every `snapshot_stride`-th snapshot (1 = all 54).
+    pub snapshot_stride: u32,
+    /// Worker threads for the snapshot fan-out.
+    pub threads: usize,
+}
+
+impl Default for EcosystemConfig {
+    fn default() -> Self {
+        EcosystemConfig {
+            seed: 0x5EED_CAFE,
+            publishers: 120,
+            view_gen: ViewGenConfig::default(),
+            snapshot_stride: 1,
+            threads: 8,
+        }
+    }
+}
+
+impl EcosystemConfig {
+    /// A small, fast configuration for unit/integration tests.
+    pub fn small() -> EcosystemConfig {
+        EcosystemConfig {
+            seed: 0x5EED_CAFE,
+            publishers: 120,
+            view_gen: ViewGenConfig {
+                min_samples: 25,
+                max_samples: 400,
+                sim_media_cap: vmp_core::units::Seconds(12.0),
+            },
+            snapshot_stride: 6,
+            threads: 4,
+        }
+    }
+}
+
+/// The generated dataset: the synthetic stand-in for the Conviva telemetry.
+#[derive(Debug)]
+pub struct Dataset {
+    /// The configuration that produced it.
+    pub config: EcosystemConfig,
+    /// Publisher profiles (sorted by ID).
+    pub profiles: Vec<PublisherProfile>,
+    /// The syndication graph.
+    pub graph: SyndicationGraph,
+    /// All weighted view samples across the generated snapshots.
+    pub views: Vec<SampledView>,
+    /// Which snapshots were generated.
+    pub snapshots: Vec<SnapshotId>,
+}
+
+impl Dataset {
+    /// Generates the full dataset.
+    pub fn generate(config: EcosystemConfig) -> Dataset {
+        let master = Rng::seed_from(config.seed);
+
+        // Population.
+        let mut pop_rng = master.fork(1);
+        let mut profiles: Vec<PublisherProfile> = (0..config.publishers)
+            .map(|i| PublisherProfile::generate(PublisherId::new(i as u32), &mut pop_rng))
+            .collect();
+
+        // The N largest publishers are the DASH drivers (§4.1) and the
+        // "3 largest" excluded in Fig 2(c)/6(b).
+        let mut order: Vec<usize> = (0..profiles.len()).collect();
+        order.sort_by(|a, b| profiles[*b].vh_day_final.total_cmp(&profiles[*a].vh_day_final));
+        for idx in order.iter().take(trends::DASH_FIRST_PUBLISHERS) {
+            profiles[*idx].set_dash_first();
+        }
+        // §4.3: every publisher above 10^5 X uses at least 4 CDNs and the
+        // weighted CDN average is ≈4.5 — the biggest publishers run the
+        // full major-CDN rotation.
+        for idx in order.iter().take(4) {
+            profiles[*idx].force_major_rotation();
+            profiles[*idx].force_all_platforms();
+        }
+
+        // Syndication graph.
+        let mut graph_rng = master.fork(2);
+        let graph = SyndicationGraph::generate(&profiles, &mut graph_rng);
+
+        // Snapshots to generate.
+        let stride = config.snapshot_stride.max(1);
+        let mut snapshots: Vec<SnapshotId> =
+            SnapshotId::all().filter(|s| s.index() % stride == 0).collect();
+        if snapshots.last() != Some(&SnapshotId::LAST) {
+            snapshots.push(SnapshotId::LAST); // per-publisher analyses need it
+        }
+
+        // Fan out across snapshots; each worker gets an independent forked
+        // RNG, so the result is independent of scheduling.
+        let threads = config.threads.max(1);
+        let mut per_snapshot: Vec<Vec<SampledView>> = Vec::with_capacity(snapshots.len());
+        {
+            let chunks: Vec<Vec<SnapshotId>> = snapshots
+                .chunks(snapshots.len().div_ceil(threads))
+                .map(|c| c.to_vec())
+                .collect();
+            let results: Vec<Vec<(SnapshotId, Vec<SampledView>)>> = thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for chunk in &chunks {
+                    let profiles = &profiles;
+                    let graph = &graph;
+                    let master = &master;
+                    let view_gen = &config.view_gen;
+                    handles.push(scope.spawn(move |_| {
+                        let mut out = Vec::new();
+                        for snapshot in chunk {
+                            let mut views = Vec::new();
+                            for (pi, profile) in profiles.iter().enumerate() {
+                                let mut rng = master
+                                    .fork(1000 + snapshot.index() as u64)
+                                    .fork(pi as u64);
+                                let plane = profile.plane(*snapshot);
+                                let session_base =
+                                    snapshot.index().wrapping_mul(1_000_000) + (pi as u32) * 1_000;
+                                views.extend(generate_views(
+                                    profile,
+                                    &plane,
+                                    graph,
+                                    view_gen,
+                                    *snapshot,
+                                    session_base,
+                                    &mut rng,
+                                ));
+                            }
+                            out.push((*snapshot, views));
+                        }
+                        out
+                    }));
+                }
+                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            })
+            .expect("scope");
+
+            let mut collected: Vec<(SnapshotId, Vec<SampledView>)> =
+                results.into_iter().flatten().collect();
+            collected.sort_by_key(|(s, _)| *s);
+            for (_, v) in collected {
+                per_snapshot.push(v);
+            }
+        }
+
+        let views: Vec<SampledView> = per_snapshot.into_iter().flatten().collect();
+        Dataset { config, profiles, graph, views, snapshots }
+    }
+
+    /// The three largest publishers by final view-hours (the Fig 2(c)/6(b)
+    /// exclusion set).
+    pub fn largest_publishers(&self, n: usize) -> Vec<PublisherId> {
+        let mut order: Vec<&PublisherProfile> = self.profiles.iter().collect();
+        order.sort_by(|a, b| b.vh_day_final.total_cmp(&a.vh_day_final));
+        order.iter().take(n).map(|p| p.publisher.id).collect()
+    }
+
+    /// Profile lookup.
+    pub fn profile(&self, id: PublisherId) -> Option<&PublisherProfile> {
+        self.profiles.get(id.index())
+    }
+
+    /// Views belonging to one snapshot.
+    pub fn views_at(&self, snapshot: SnapshotId) -> impl Iterator<Item = &SampledView> {
+        self.views.iter().filter(move |v| v.record.snapshot == snapshot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_dataset_generates_and_is_deterministic() {
+        let a = Dataset::generate(EcosystemConfig::small());
+        let b = Dataset::generate(EcosystemConfig::small());
+        assert_eq!(a.views.len(), b.views.len());
+        assert!(!a.views.is_empty());
+        for (x, y) in a.views.iter().take(500).zip(b.views.iter().take(500)) {
+            assert_eq!(x.record, y.record);
+            assert_eq!(x.weight, y.weight);
+        }
+    }
+
+    #[test]
+    fn determinism_is_independent_of_thread_count() {
+        let mut c1 = EcosystemConfig::small();
+        c1.threads = 1;
+        let mut c8 = EcosystemConfig::small();
+        c8.threads = 8;
+        let a = Dataset::generate(c1);
+        let b = Dataset::generate(c8);
+        assert_eq!(a.views.len(), b.views.len());
+        for (x, y) in a.views.iter().zip(&b.views) {
+            assert_eq!(x.record, y.record);
+        }
+    }
+
+    #[test]
+    fn last_snapshot_is_always_present() {
+        let d = Dataset::generate(EcosystemConfig::small());
+        assert!(d.snapshots.contains(&SnapshotId::LAST));
+        assert!(d.views_at(SnapshotId::LAST).count() > 0);
+    }
+
+    #[test]
+    fn every_publisher_contributes_views() {
+        let d = Dataset::generate(EcosystemConfig::small());
+        let mut seen = vec![false; d.profiles.len()];
+        for v in &d.views {
+            seen[v.record.publisher.index()] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn largest_publishers_are_dash_first() {
+        let d = Dataset::generate(EcosystemConfig::small());
+        for id in d.largest_publishers(crate::trends::DASH_FIRST_PUBLISHERS) {
+            assert!(d.profile(id).unwrap().dash_first);
+        }
+    }
+}

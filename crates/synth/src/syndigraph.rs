@@ -1,0 +1,204 @@
+//! The owner ↔ syndicator graph (§6, Fig 14).
+//!
+//! Syndicators license and redistribute content from owners. Fig 14's CDF
+//! says: >80% of content owners use at least one full syndicator, and the
+//! top ~20% of owners reach about a third of all full syndicators. The
+//! graph here reproduces that shape: each owner gets a target *reach*
+//! (fraction of the syndicator pool) drawn from a skewed distribution, then
+//! that many distinct syndicators.
+
+use std::collections::{BTreeMap, BTreeSet};
+use vmp_core::ids::PublisherId;
+use vmp_core::publisher::SyndicationRole;
+use vmp_stats::Rng;
+
+use crate::publisher_gen::PublisherProfile;
+
+/// The syndication relationships of the ecosystem.
+#[derive(Debug, Clone, Default)]
+pub struct SyndicationGraph {
+    /// All full syndicators (and mixed publishers acting as syndicators).
+    syndicators: Vec<PublisherId>,
+    /// owner → set of syndicators carrying its content.
+    by_owner: BTreeMap<PublisherId, BTreeSet<PublisherId>>,
+    /// syndicator → set of owners it licenses from.
+    by_syndicator: BTreeMap<PublisherId, BTreeSet<PublisherId>>,
+}
+
+impl SyndicationGraph {
+    /// Builds the graph for a population.
+    pub fn generate(population: &[PublisherProfile], rng: &mut Rng) -> SyndicationGraph {
+        let syndicators: Vec<PublisherId> = population
+            .iter()
+            .filter(|p| {
+                matches!(
+                    p.publisher.role,
+                    SyndicationRole::FullSyndicator | SyndicationRole::Mixed
+                )
+            })
+            .map(|p| p.publisher.id)
+            .collect();
+        let owners: Vec<&PublisherProfile> = population
+            .iter()
+            .filter(|p| {
+                matches!(p.publisher.role, SyndicationRole::OwnerOnly | SyndicationRole::Mixed)
+            })
+            .collect();
+
+        let mut graph = SyndicationGraph {
+            syndicators: syndicators.clone(),
+            by_owner: BTreeMap::new(),
+            by_syndicator: BTreeMap::new(),
+        };
+        if syndicators.is_empty() {
+            return graph;
+        }
+
+        for owner in owners {
+            // Reach: ~18% of owners use no syndicator; the rest draw a
+            // fraction of the pool skewed low, with bigger owners reaching
+            // further (the popular-catalogue effect).
+            let reach_fraction = if rng.chance(0.18) {
+                0.0
+            } else {
+                let base = rng.f64().powf(2.2) * 0.38; // skewed toward 0
+                (base + 0.10 * owner.size01).min(0.45)
+            };
+            let pool: Vec<PublisherId> = syndicators
+                .iter()
+                .copied()
+                .filter(|s| *s != owner.publisher.id)
+                .collect();
+            if pool.is_empty() {
+                continue;
+            }
+            let k = ((reach_fraction * pool.len() as f64).round() as usize).min(pool.len());
+            if k == 0 {
+                continue;
+            }
+            let chosen = rng.sample_indices(pool.len(), k);
+            let set: BTreeSet<PublisherId> = chosen.into_iter().map(|i| pool[i]).collect();
+            for s in &set {
+                graph.by_syndicator.entry(*s).or_default().insert(owner.publisher.id);
+            }
+            graph.by_owner.insert(owner.publisher.id, set);
+        }
+        graph
+    }
+
+    /// All full syndicators.
+    pub fn syndicators(&self) -> &[PublisherId] {
+        &self.syndicators
+    }
+
+    /// The syndicators carrying `owner`'s content.
+    pub fn syndicators_of(&self, owner: PublisherId) -> impl Iterator<Item = PublisherId> + '_ {
+        self.by_owner.get(&owner).into_iter().flatten().copied()
+    }
+
+    /// The owners whose content `syndicator` carries.
+    pub fn owners_of(&self, syndicator: PublisherId) -> impl Iterator<Item = PublisherId> + '_ {
+        self.by_syndicator.get(&syndicator).into_iter().flatten().copied()
+    }
+
+    /// Fraction of the syndicator pool used by each owner — the Fig 14 CDF
+    /// input (owners with zero syndicators included).
+    pub fn reach_fractions(&self, owners: &[PublisherId]) -> Vec<f64> {
+        let pool = self.syndicators.len().max(1) as f64;
+        owners
+            .iter()
+            .map(|o| self.by_owner.get(o).map(|s| s.len()).unwrap_or(0) as f64 / pool)
+            .collect()
+    }
+
+    /// Picks an owner for a syndicated view served by `syndicator`.
+    pub fn sample_owner(&self, syndicator: PublisherId, rng: &mut Rng) -> Option<PublisherId> {
+        let owners = self.by_syndicator.get(&syndicator)?;
+        if owners.is_empty() {
+            return None;
+        }
+        let v: Vec<PublisherId> = owners.iter().copied().collect();
+        Some(*rng.choose(&v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::publisher_gen::PublisherProfile;
+
+    fn graph(n: usize, seed: u64) -> (Vec<PublisherProfile>, SyndicationGraph) {
+        let mut rng = Rng::seed_from(seed);
+        let pop: Vec<PublisherProfile> = (0..n)
+            .map(|i| PublisherProfile::generate(PublisherId::new(i as u32), &mut rng))
+            .collect();
+        let g = SyndicationGraph::generate(&pop, &mut rng);
+        (pop, g)
+    }
+
+    #[test]
+    fn graph_is_consistent_both_ways() {
+        let (_, g) = graph(200, 1);
+        for (owner, synds) in &g.by_owner {
+            for s in synds {
+                assert!(g.by_syndicator[s].contains(owner));
+            }
+        }
+        for (synd, owners) in &g.by_syndicator {
+            for o in owners {
+                assert!(g.by_owner[o].contains(synd));
+            }
+        }
+    }
+
+    #[test]
+    fn fig14_shape_most_owners_syndicate() {
+        let (pop, g) = graph(400, 2);
+        let owners: Vec<PublisherId> = pop
+            .iter()
+            .filter(|p| {
+                matches!(p.publisher.role, SyndicationRole::OwnerOnly | SyndicationRole::Mixed)
+            })
+            .map(|p| p.publisher.id)
+            .collect();
+        let fractions = g.reach_fractions(&owners);
+        let with_any = fractions.iter().filter(|f| **f > 0.0).count() as f64;
+        let share = with_any / fractions.len() as f64;
+        assert!(share > 0.75, "owners with ≥1 syndicator: {share}");
+        // Top owners reach a substantial fraction (≈1/3) of the pool.
+        let mut sorted = fractions.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let p90 = sorted[sorted.len() / 10];
+        assert!((0.18..=0.50).contains(&p90), "p90 reach {p90}");
+    }
+
+    #[test]
+    fn no_self_syndication() {
+        let (_, g) = graph(200, 3);
+        for (owner, synds) in &g.by_owner {
+            assert!(!synds.contains(owner));
+        }
+    }
+
+    #[test]
+    fn sample_owner_only_from_licensed() {
+        let (_, g) = graph(200, 4);
+        let mut rng = Rng::seed_from(9);
+        let syndicators: Vec<PublisherId> = g.by_syndicator.keys().copied().collect();
+        for synd in syndicators.iter().take(20) {
+            let owners = &g.by_syndicator[synd];
+            for _ in 0..10 {
+                let o = g.sample_owner(*synd, &mut rng).unwrap();
+                assert!(owners.contains(&o));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_population_yields_empty_graph() {
+        let mut rng = Rng::seed_from(5);
+        let g = SyndicationGraph::generate(&[], &mut rng);
+        assert!(g.syndicators().is_empty());
+        assert!(g.reach_fractions(&[]).is_empty());
+    }
+}

@@ -1,0 +1,87 @@
+//! Failure triage: the §5 story. A failure shows up in telemetry; the
+//! on-call engineer must localize it within the publisher's management-plane
+//! combinations — the product of CDNs × protocols × devices the publisher
+//! supports. This example measures that search space per publisher and
+//! demonstrates Conviva-style aggregation: injecting a failure into one
+//! specific (CDN, protocol, device) combination and finding it by grouping
+//! failure reports.
+//!
+//! ```sh
+//! cargo run --release --example failure_triage
+//! ```
+
+use std::collections::BTreeMap;
+use vmp::analytics::complexity::{complexity_fit, complexity_points, ComplexityMeasure};
+use vmp::analytics::store::ViewStore;
+use vmp::core::prelude::*;
+use vmp::synth::ecosystem::{Dataset, EcosystemConfig};
+
+fn main() {
+    let dataset = Dataset::generate(EcosystemConfig::small());
+    let store = ViewStore::ingest(dataset.views.clone());
+    let last = store.latest_snapshot().expect("dataset has views");
+
+    // The triaging search space per publisher.
+    let points = complexity_points(&store, last, ComplexityMeasure::Combinations, &|_| 1);
+    let max = points.iter().max_by(|a, b| a.complexity.total_cmp(&b.complexity)).expect("points");
+    println!(
+        "management-plane combinations: {} publishers; largest search space = {} combinations ({})",
+        points.len(),
+        max.complexity,
+        max.publisher
+    );
+    let fit = complexity_fit(&points).expect("enough publishers");
+    println!(
+        "combinations grow {:.2}x per 10x view-hours (r²={:.2}, p={:.1e}) — sub-linear, as in §5",
+        fit.growth_per_decade(),
+        fit.r_squared,
+        fit.p_value
+    );
+
+    // Inject a failure: one CDN's SmoothStreaming packaging breaks for
+    // Chromecast (the paper's real-world example) — every view matching the
+    // triple reports a failure; triage by aggregating failure rates.
+    let failing = |record: &ViewRecord, protocol: Option<StreamingProtocol>| {
+        record.device == DeviceModel::Chromecast
+            && protocol == Some(StreamingProtocol::SmoothStreaming)
+            && record.cdns.first() == Some(&CdnName::C.id())
+    };
+    let mut by_combo: BTreeMap<(String, String, String), (u64, u64)> = BTreeMap::new();
+    for v in store.at(last) {
+        let proto = v.protocol.map(|p| p.label().to_string()).unwrap_or_else(|| "?".into());
+        let cdn = v
+            .view
+            .record
+            .primary_cdn()
+            .and_then(|id| CdnName::from_dense_index(id.index()))
+            .map(|c| c.to_string())
+            .unwrap_or_else(|| "?".into());
+        let key = (cdn, proto, v.view.record.device.model_string().to_string());
+        let entry = by_combo.entry(key).or_insert((0, 0));
+        entry.1 += 1;
+        if failing(&v.view.record, v.protocol) {
+            entry.0 += 1;
+        }
+    }
+    println!("\ninjected fault: Chromecast × MSS × CDN-C. Aggregated failure rates:");
+    let mut flagged: Vec<_> = by_combo
+        .iter()
+        .filter(|(_, (fails, total))| *fails > 0 && *total > 0)
+        .collect();
+    flagged.sort_by(|a, b| b.1 .0.cmp(&a.1 .0));
+    for ((cdn, proto, device), (fails, total)) in flagged.iter().take(5) {
+        println!("  {cdn} × {proto} × {device}: {fails}/{total} views failing");
+    }
+    match flagged.first() {
+        Some(((cdn, proto, device), _)) => println!(
+            "\ntriage verdict: the failing combination is {cdn} × {proto} × {device} — found by \
+             aggregation across {} combinations",
+            by_combo.len()
+        ),
+        None => println!(
+            "\nno failing views in this sample window ({} combinations scanned) — the faulty \
+             triple is rare by construction (§5's point about the search space)",
+            by_combo.len()
+        ),
+    }
+}

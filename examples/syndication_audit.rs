@@ -1,0 +1,61 @@
+//! Syndication audit: the §6 study end to end — Fig 17 ladders, the QoE gap
+//! between an owner's and a syndicator's clients, and the CDN-origin
+//! storage a dedup-aware or integrated management plane would save.
+//!
+//! ```sh
+//! cargo run --release --example syndication_audit
+//! ```
+
+use vmp::core::prelude::*;
+use vmp::syndication::catalogue::{ladder_of, CatalogueStudy, FIG17_LADDERS};
+use vmp::syndication::qoe::{qoe_comparison, QoeScenario};
+use vmp::syndication::storage::storage_study;
+
+fn main() {
+    // Fig 17: eleven independent ladder choices for the same video.
+    println!("-- ladders for one syndicated video ID --");
+    for (label, bitrates) in FIG17_LADDERS {
+        let top = bitrates.iter().max().expect("non-empty");
+        println!("  {label:>3}: {:2} rungs, top {top} kbps", bitrates.len());
+    }
+
+    // Figs 15/16: what those choices do to viewers.
+    println!("\n-- owner (O) vs syndicator (S7), California iPads on WiFi --");
+    for (label, isp, cdn) in [("ISP X / CDN A", Isp::X, CdnName::A), ("ISP Y / CDN B", Isp::Y, CdnName::B)] {
+        let cmp = qoe_comparison(
+            &ladder_of("O").expect("static"),
+            &ladder_of("S7").expect("static"),
+            QoeScenario::new(isp, cdn, 200),
+            1715,
+        );
+        println!(
+            "  {label}: owner median {:.0} kbps vs syndicator {:.0} kbps ({:.1}x); \
+             p90 rebuffering {:.4} vs {:.4} ({:.0}% lower)",
+            cmp.owner.median_bitrate(),
+            cmp.syndicator.median_bitrate(),
+            cmp.median_bitrate_ratio(),
+            cmp.owner.p90_rebuffer(),
+            cmp.syndicator.p90_rebuffer(),
+            100.0 * cmp.p90_rebuffer_reduction(),
+        );
+    }
+
+    // Fig 18: what independent syndication costs the CDNs.
+    println!("\n-- origin storage for the catalogue (owner + 2 syndicators) --");
+    let study = CatalogueStudy::paper_setting();
+    let outcome = storage_study(&study);
+    for r in &outcome.per_cdn {
+        println!(
+            "  {}: {:.0} TB total | dedup@5% saves {:.0} TB ({:.1}%) | dedup@10% saves {:.0} TB \
+             ({:.1}%) | integrated saves {:.0} TB ({:.1}%)",
+            r.cdn,
+            r.total.terabytes(),
+            r.saved_5pct.terabytes(),
+            r.pct(r.saved_5pct),
+            r.saved_10pct.terabytes(),
+            r.pct(r.saved_10pct),
+            r.saved_integrated.terabytes(),
+            r.pct(r.saved_integrated),
+        );
+    }
+}

@@ -1,0 +1,12 @@
+//! Facade crate re-exporting the whole `vmp` workspace.
+pub use vmp_abr as abr;
+pub use vmp_analytics as analytics;
+pub use vmp_cdn as cdn;
+pub use vmp_core as core;
+pub use vmp_experiments as experiments;
+pub use vmp_manifest as manifest;
+pub use vmp_packaging as packaging;
+pub use vmp_session as session;
+pub use vmp_stats as stats;
+pub use vmp_syndication as syndication;
+pub use vmp_synth as synth;

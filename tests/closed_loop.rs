@@ -1,0 +1,100 @@
+//! Cross-crate closed-loop tests: the packager's outputs must be exactly
+//! what the player fetches and what analytics re-derives — no crate may
+//! "know" another's intent out of band.
+
+use vmp::core::prelude::*;
+use vmp::manifest::{classify, dash, hls};
+use vmp::packaging::ladder::LadderSpec;
+use vmp::packaging::package::Packager;
+
+#[test]
+fn packager_manifest_parses_back_to_the_same_ladder() {
+    let ladder = LadderSpec::guideline(Kbps(8000)).build().unwrap();
+    let asset = VideoAsset::vod(VideoId::new(11), Seconds::from_minutes(30.0));
+    let packager = Packager::default();
+
+    // DASH: full presentation round trip.
+    let pkg = packager
+        .package(&asset, &ladder, StreamingProtocol::Dash, CdnName::B, PublisherId::new(3))
+        .unwrap();
+    let parsed = dash::parse_mpd(&pkg.manifest_body).unwrap();
+    assert_eq!(parsed.ladder.bitrates(), ladder.bitrates());
+    assert!((parsed.total_duration.unwrap().0 - 1800.0).abs() < 1e-2);
+
+    // HLS: the master's variants recover the ladder through the declared
+    // audio rendition.
+    let pkg = packager
+        .package(&asset, &ladder, StreamingProtocol::Hls, CdnName::A, PublisherId::new(3))
+        .unwrap();
+    let master = hls::parse_master(&pkg.manifest_body).unwrap();
+    let audio = master.audio.iter().filter_map(|a| a.bitrate()).max().unwrap();
+    let recovered: Vec<Kbps> = master.variants.iter().map(|v| v.video_bitrate(audio)).collect();
+    assert_eq!(recovered, ladder.bitrates());
+}
+
+#[test]
+fn urls_classify_for_every_protocol_cdn_pair() {
+    let ladder = LadderSpec::guideline(Kbps(3000)).build().unwrap();
+    let asset = VideoAsset::vod(VideoId::new(5), Seconds::from_minutes(10.0));
+    let packager = Packager::default();
+    for protocol in StreamingProtocol::HTTP_ADAPTIVE {
+        for cdn in CdnName::MAJORS {
+            let pkg = packager
+                .package(&asset, &ladder, protocol, cdn, PublisherId::new(9))
+                .unwrap();
+            assert_eq!(classify(&pkg.manifest_url), Some(protocol), "{}", pkg.manifest_url);
+        }
+    }
+}
+
+#[test]
+fn telemetry_protocol_inference_matches_generation_intent() {
+    // Generate a small ecosystem and verify that analytics' URL-derived
+    // protocol is always one the publisher's management plane packaged
+    // (the generator's intent never leaks any other way).
+    use vmp::analytics::store::ViewStore;
+    use vmp::synth::ecosystem::{Dataset, EcosystemConfig};
+
+    let mut config = EcosystemConfig::small();
+    config.publishers = 40;
+    config.snapshot_stride = 18;
+    let dataset = Dataset::generate(config);
+    let store = ViewStore::ingest(dataset.views.clone());
+    let mut checked = 0;
+    for v in store.all() {
+        let protocol = v.protocol.expect("generated URLs always classify");
+        let profile = dataset.profile(v.view.record.publisher).expect("known publisher");
+        let plane = profile.plane(v.view.record.snapshot);
+        assert!(
+            plane.protocols.contains(&protocol) || protocol == plane.protocols[0],
+            "{protocol} not in {:?}",
+            plane.protocols
+        );
+        checked += 1;
+    }
+    assert!(checked > 1000, "too few views checked: {checked}");
+}
+
+#[test]
+fn weighted_view_hours_equal_management_plane_targets() {
+    use vmp::synth::ecosystem::{Dataset, EcosystemConfig};
+    let mut config = EcosystemConfig::small();
+    config.publishers = 20;
+    config.snapshot_stride = 30;
+    let dataset = Dataset::generate(config);
+    for snapshot in &dataset.snapshots {
+        for profile in &dataset.profiles {
+            let target = profile.plane(*snapshot).vh_day * 2.0;
+            let total: f64 = dataset
+                .views_at(*snapshot)
+                .filter(|v| v.record.publisher == profile.publisher.id)
+                .map(|v| v.weighted_hours())
+                .sum();
+            assert!(
+                (total / target - 1.0).abs() < 1e-6,
+                "{}: {total} vs target {target}",
+                profile.publisher.id
+            );
+        }
+    }
+}

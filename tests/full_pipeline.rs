@@ -1,0 +1,53 @@
+//! End-to-end integration: generate the (reduced) ecosystem, run every
+//! experiment driver, and require every qualitative check from the paper to
+//! hold. This is the repository's headline test — if the pipeline from
+//! packaging through telemetry to analytics drifts, some figure's check
+//! breaks here.
+
+use vmp::experiments::{run, ReproContext, Scale, ABLATIONS, ALL_EXPERIMENTS};
+
+#[test]
+fn every_figure_and_table_reproduces() {
+    let ctx = ReproContext::new(Scale::Quick);
+    let mut failures = Vec::new();
+    let mut total_checks = 0;
+    for id in ALL_EXPERIMENTS {
+        let result = run(id, &ctx).expect("registered experiment");
+        assert_eq!(result.id, id);
+        assert!(
+            !result.tables.is_empty() || !result.series.is_empty(),
+            "{id} produced no output"
+        );
+        total_checks += result.checks.len();
+        for check in result.failures() {
+            failures.push(format!("[{id}] {}: {}", check.name, check.detail));
+        }
+    }
+    assert!(total_checks > 100, "expected >100 paper checks, ran {total_checks}");
+    assert!(
+        failures.is_empty(),
+        "{} of {} checks failed:\n{}",
+        failures.len(),
+        total_checks,
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn ablations_reproduce() {
+    let ctx = ReproContext::new(Scale::Quick);
+    for id in ABLATIONS {
+        let result = run(id, &ctx).expect("registered ablation");
+        assert!(
+            result.all_passed(),
+            "[{id}] failed checks: {:?}",
+            result.failures()
+        );
+    }
+}
+
+#[test]
+fn unknown_experiment_is_rejected() {
+    let ctx = ReproContext::new(Scale::Quick);
+    assert!(run("fig99", &ctx).is_none());
+}

@@ -1,0 +1,67 @@
+//! §6 end-to-end assertions against the paper's reported numbers
+//! (neighbourhood matches; see EXPERIMENTS.md for the exact measured values).
+
+use vmp::core::prelude::*;
+use vmp::syndication::catalogue::{ladder_of, CatalogueStudy};
+use vmp::syndication::qoe::{qoe_comparison, QoeScenario};
+use vmp::syndication::storage::storage_study;
+
+#[test]
+fn storage_savings_match_fig18_shape() {
+    let outcome = storage_study(&CatalogueStudy::test_setting());
+    let r = outcome.representative().unwrap();
+    let p5 = r.pct(r.saved_5pct);
+    let p10 = r.pct(r.saved_10pct);
+    let pint = r.pct(r.saved_integrated);
+    // Paper: 16.5 / 45.2 / 65.6.
+    assert!((10.0..25.0).contains(&p5), "@5% = {p5}");
+    assert!((38.0..55.0).contains(&p10), "@10% = {p10}");
+    assert!((58.0..72.0).contains(&pint), "integrated = {pint}");
+    // The 5%→10% jump dominates: interleaved-but-unequal rungs.
+    assert!(p10 - p5 > 15.0);
+}
+
+#[test]
+fn qoe_gap_matches_fig15_fig16() {
+    let cmp = qoe_comparison(
+        &ladder_of("O").unwrap(),
+        &ladder_of("S7").unwrap(),
+        QoeScenario::new(Isp::X, CdnName::A, 120),
+        7,
+    );
+    let ratio = cmp.median_bitrate_ratio();
+    assert!((1.8..3.6).contains(&ratio), "median bitrate ratio {ratio}");
+    let reduction = cmp.p90_rebuffer_reduction();
+    assert!(reduction > 0.15, "p90 rebuffer reduction {reduction}");
+}
+
+#[test]
+fn independent_ladders_are_the_paper_population() {
+    // All 11 Fig 17 participants build valid ladders with 3..=14 rungs.
+    for label in ["O", "S1", "S2", "S3", "S4", "S5", "S6", "S7", "S8", "S9", "S10"] {
+        let ladder = ladder_of(label).unwrap_or_else(|| panic!("{label} missing"));
+        assert!((3..=14).contains(&ladder.len()), "{label}: {} rungs", ladder.len());
+    }
+    // The §6 scenario: each participant's CDN set includes both common CDNs.
+    let study = CatalogueStudy::paper_setting();
+    for p in study.participants() {
+        assert!(p.cdns.contains(&CdnName::A) && p.cdns.contains(&CdnName::B), "{}", p.label);
+    }
+}
+
+#[test]
+fn integrated_model_removes_exactly_the_syndicator_bytes() {
+    let study = CatalogueStudy::test_setting();
+    let outcome = storage_study(&study);
+    let r = outcome.representative().unwrap();
+    // Closed form: syndicator share of Σ bitrates.
+    let sum = |l: &BitrateLadder| l.bitrates().iter().map(|b| b.0 as u64).sum::<u64>() as f64;
+    let owner = sum(&study.owner.ladder);
+    let synd: f64 = study.syndicators.iter().map(|s| sum(&s.ladder)).sum();
+    let expected_pct = 100.0 * synd / (owner + synd);
+    let measured_pct = r.pct(r.saved_integrated);
+    assert!(
+        (measured_pct - expected_pct).abs() < 0.5,
+        "measured {measured_pct}, closed form {expected_pct}"
+    );
+}
