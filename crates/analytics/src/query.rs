@@ -42,9 +42,12 @@ fn share_by<'a, V: Ord + Clone>(
     extract: impl Fn(&ViewRef<'a>) -> Vec<V>,
     measure: impl Fn(&ViewRef<'a>) -> f64,
 ) -> BTreeMap<V, f64> {
+    let _span = vmp_obs::span("analytics.query.share_by");
     let mut totals: BTreeMap<V, f64> = BTreeMap::new();
     let mut grand_total = 0.0f64;
+    let mut scanned = 0u64;
     for v in views {
+        scanned += 1;
         let m = measure(&v);
         grand_total += m;
         let values = extract(&v);
@@ -56,6 +59,7 @@ fn share_by<'a, V: Ord + Clone>(
             *totals.entry(value).or_insert(0.0) += split;
         }
     }
+    vmp_obs::counter("analytics.rows_scanned").add(scanned);
     if grand_total > 0.0 {
         for t in totals.values_mut() {
             *t = 100.0 * *t / grand_total;
@@ -95,8 +99,11 @@ pub fn per_publisher_values<'a, V: Ord + Clone>(
     extract: impl Fn(&ViewRef<'a>) -> Vec<V>,
     min_traffic_share: f64,
 ) -> BTreeMap<PublisherId, (BTreeSet<V>, f64)> {
+    let _span = vmp_obs::span("analytics.query.per_publisher");
+    let rows_scanned = vmp_obs::counter("analytics.rows_scanned");
     let mut per_pub: BTreeMap<PublisherId, (BTreeMap<V, f64>, f64)> = BTreeMap::new();
     for v in views {
+        rows_scanned.inc();
         let hours = v.hours();
         let entry = per_pub.entry(v.view.record.publisher).or_default();
         entry.1 += hours;
@@ -129,8 +136,11 @@ pub fn per_publisher_value_share<'a, V: Ord + Clone>(
     extract: impl Fn(&ViewRef<'a>) -> Vec<V>,
     value: &V,
 ) -> Vec<f64> {
+    let _span = vmp_obs::span("analytics.query.value_share");
+    let rows_scanned = vmp_obs::counter("analytics.rows_scanned");
     let mut per_pub: BTreeMap<PublisherId, (f64, f64)> = BTreeMap::new();
     for v in views {
+        rows_scanned.inc();
         let hours = v.hours();
         let entry = per_pub.entry(v.view.record.publisher).or_default();
         entry.1 += hours;

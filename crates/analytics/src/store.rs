@@ -39,10 +39,27 @@ pub struct ViewStore {
 impl ViewStore {
     /// Ingests a batch of samples (sorting by snapshot, deriving dimensions).
     pub fn ingest(mut views: Vec<SampledView>) -> ViewStore {
+        let _span = vmp_obs::span("analytics.ingest");
+        vmp_obs::counter("analytics.rows_ingested").add(views.len() as u64);
         views.sort_by_key(|v| v.record.snapshot);
+        let unclassified = vmp_obs::counter("analytics.manifests_unclassified");
         let protocols: Vec<Option<StreamingProtocol>> = views
             .iter()
-            .map(|v| vmp_manifest::classify(&v.record.manifest_url))
+            .map(|v| {
+                let proto = vmp_manifest::classify(&v.record.manifest_url);
+                if proto.is_none() {
+                    unclassified.inc();
+                    // Sampled: unclassifiable URLs are common by design (§5,
+                    // Table 1 lists opaque manifest schemes).
+                    if unclassified.get() % 256 == 1 {
+                        vmp_obs::event(
+                            vmp_obs::EventKind::ManifestParseError,
+                            format!("unclassifiable manifest url: {}", v.record.manifest_url),
+                        );
+                    }
+                }
+                proto
+            })
             .collect();
         let mut by_snapshot = BTreeMap::new();
         let mut start = 0usize;

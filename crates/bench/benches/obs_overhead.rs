@@ -1,0 +1,94 @@
+//! Instrumentation overhead: what one counter increment, span enter/exit,
+//! histogram record, and the disabled no-op paths cost.
+//!
+//! The acceptance bar is the disabled counter path: a single relaxed load
+//! plus an untaken branch, expected well under 5 ns/iter. Run with
+//! `cargo bench --bench obs_overhead`; representative numbers live in
+//! CHANGES.md and the README "Observability" section.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vmp_obs::MetricsRegistry;
+
+fn bench_counters(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs/counter");
+    group.sample_size(30);
+
+    let enabled = MetricsRegistry::new();
+    let counter = enabled.counter("bench.enabled");
+    group.bench_function("inc_enabled", |b| b.iter(|| black_box(&counter).inc()));
+
+    let disabled = MetricsRegistry::new();
+    disabled.set_enabled(false);
+    let noop = disabled.counter("bench.disabled");
+    group.bench_function("inc_disabled_noop", |b| b.iter(|| black_box(&noop).inc()));
+
+    group.bench_function("add_enabled", |b| b.iter(|| black_box(&counter).add(black_box(3))));
+    group.finish();
+}
+
+fn bench_histograms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs/histogram");
+    group.sample_size(30);
+
+    let enabled = MetricsRegistry::new();
+    let hist = enabled.histogram("bench.latency");
+    group.bench_function("record_enabled", |b| {
+        let mut v = 0u64;
+        b.iter(|| {
+            v = v.wrapping_add(977) % 1_000_000;
+            black_box(&hist).record(black_box(v));
+        })
+    });
+
+    let disabled = MetricsRegistry::new();
+    disabled.set_enabled(false);
+    let noop = disabled.histogram("bench.disabled");
+    group.bench_function("record_disabled_noop", |b| b.iter(|| black_box(&noop).record(black_box(42))));
+    group.finish();
+}
+
+fn bench_spans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs/span");
+    group.sample_size(30);
+
+    let enabled = MetricsRegistry::new();
+    group.bench_function("enter_exit_enabled", |b| {
+        b.iter(|| {
+            let span = vmp_obs::span_in(black_box(&enabled), "bench.stage");
+            black_box(&span);
+        })
+    });
+
+    let disabled = MetricsRegistry::new();
+    disabled.set_enabled(false);
+    group.bench_function("enter_exit_disabled", |b| {
+        b.iter(|| {
+            let span = vmp_obs::span_in(black_box(&disabled), "bench.stage");
+            black_box(&span);
+        })
+    });
+    group.finish();
+}
+
+fn bench_registry(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs/registry");
+    group.sample_size(30);
+
+    let reg = MetricsRegistry::new();
+    reg.counter("bench.lookup");
+    group.bench_function("counter_lookup_by_name", |b| {
+        b.iter(|| black_box(reg.counter(black_box("bench.lookup"))))
+    });
+
+    group.bench_function("event_record", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            reg.record_event(vmp_obs::EventKind::Other, format!("e{i}"));
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(obs_overhead, bench_counters, bench_histograms, bench_spans, bench_registry);
+criterion_main!(obs_overhead);

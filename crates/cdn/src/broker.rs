@@ -40,12 +40,23 @@ pub struct Broker {
     alpha: f64,
     /// Exploration probability under [`BrokerPolicy::QoeAware`].
     epsilon: f64,
+    obs_selections: vmp_obs::Counter,
+    obs_failovers: vmp_obs::Counter,
+    obs_reports: vmp_obs::Counter,
 }
 
 impl Broker {
     /// Creates a broker.
     pub fn new(policy: BrokerPolicy) -> Broker {
-        Broker { policy, scores: Mutex::new(HashMap::new()), alpha: 0.2, epsilon: 0.1 }
+        Broker {
+            policy,
+            scores: Mutex::new(HashMap::new()),
+            alpha: 0.2,
+            epsilon: 0.1,
+            obs_selections: vmp_obs::counter("cdn.broker_selections"),
+            obs_failovers: vmp_obs::counter("cdn.broker_failovers"),
+            obs_reports: vmp_obs::counter("cdn.broker_qoe_reports"),
+        }
     }
 
     /// The active policy.
@@ -65,6 +76,7 @@ impl Broker {
         if eligible.is_empty() {
             return None;
         }
+        self.obs_selections.inc();
         match self.policy {
             BrokerPolicy::Weighted => {
                 let weights: Vec<f64> = eligible.iter().map(|a| a.weight).collect();
@@ -106,6 +118,7 @@ impl Broker {
         if alternatives.is_empty() {
             None
         } else {
+            self.obs_failovers.inc();
             Some(rng.choose(&alternatives).cdn)
         }
     }
@@ -116,6 +129,7 @@ impl Broker {
         if !score.is_finite() {
             return;
         }
+        self.obs_reports.inc();
         let mut scores = self.scores.lock();
         let entry = scores.entry(cdn).or_default();
         if entry.samples == 0 {

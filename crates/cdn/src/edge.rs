@@ -18,7 +18,6 @@ pub enum CacheOutcome {
 }
 
 /// A single LRU edge cache keyed by opaque chunk keys.
-#[derive(Debug)]
 pub struct EdgeCache {
     capacity: Bytes,
     used: Bytes,
@@ -27,6 +26,23 @@ pub struct EdgeCache {
     clock: u64,
     hits: u64,
     misses: u64,
+    /// Cached global-registry handles; resolved once per cache so the
+    /// per-chunk path stays lock-free.
+    obs_hits: vmp_obs::Counter,
+    obs_misses: vmp_obs::Counter,
+    obs_evictions: vmp_obs::Counter,
+}
+
+impl std::fmt::Debug for EdgeCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EdgeCache")
+            .field("capacity", &self.capacity)
+            .field("used", &self.used)
+            .field("entries", &self.entries.len())
+            .field("hits", &self.hits)
+            .field("misses", &self.misses)
+            .finish()
+    }
 }
 
 impl EdgeCache {
@@ -39,6 +55,9 @@ impl EdgeCache {
             clock: 0,
             hits: 0,
             misses: 0,
+            obs_hits: vmp_obs::counter("cdn.cache_hits"),
+            obs_misses: vmp_obs::counter("cdn.cache_misses"),
+            obs_evictions: vmp_obs::counter("cdn.cache_evictions"),
         }
     }
 
@@ -50,9 +69,16 @@ impl EdgeCache {
         if let Some((_, last_use)) = self.entries.get_mut(&key) {
             *last_use = self.clock;
             self.hits += 1;
+            self.obs_hits.inc();
             return CacheOutcome::Hit;
         }
         self.misses += 1;
+        self.obs_misses.inc();
+        // Sampled 1-in-64: a full dataset produces millions of misses and
+        // the ring only keeps the newest ~1k events anyway.
+        if self.misses % 64 == 1 {
+            vmp_obs::event(vmp_obs::EventKind::CacheMiss, format!("chunk key {key:#018x}"));
+        }
         if size > self.capacity {
             return CacheOutcome::Miss;
         }
@@ -68,6 +94,7 @@ impl EdgeCache {
         if let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, (_, t))| *t) {
             if let Some((size, _)) = self.entries.remove(&victim) {
                 self.used = self.used.saturating_sub(size);
+                self.obs_evictions.inc();
             }
         } else {
             // Nothing to evict; avoid infinite loop (can't happen while

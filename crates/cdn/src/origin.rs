@@ -75,6 +75,8 @@ impl OriginStore {
 
     /// Registers a pushed encoding.
     pub fn push(&mut self, entry: OriginEntry) {
+        vmp_obs::counter("cdn.origin_pushes").inc();
+        vmp_obs::counter("cdn.origin_bytes_pushed").add(entry.bytes.0);
         self.entries.push(entry);
     }
 

@@ -150,11 +150,10 @@ impl DeviceModel {
 
     /// Parses a telemetry model string back into a device model.
     pub fn from_model_string(s: &str) -> Option<DeviceModel> {
-        let found = Self::ALL
+        Self::ALL
             .into_iter()
             .chain(std::iter::once(DeviceModel::MobileBrowser))
-            .find(|d| d.model_string() == s);
-        found
+            .find(|d| d.model_string() == s)
     }
 }
 

@@ -126,7 +126,7 @@ impl SnapshotId {
 
 impl fmt::Display for SnapshotId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let half = if self.0 % 2 == 0 { "a" } else { "b" };
+        let half = if self.0.is_multiple_of(2) { "a" } else { "b" };
         write!(f, "{}{}", self.month(), half)
     }
 }

@@ -2,17 +2,21 @@
 //!
 //! Usage:
 //! ```text
-//! repro [--quick] [--json PATH] [ID ...]
+//! repro [--quick] [--seed N] [--json PATH] [--metrics PATH] [ID ...]
 //! ```
 //! With no IDs, runs everything in paper order. `--quick` uses the reduced
 //! ecosystem (CI-sized); the default is the full EXPERIMENTS.md run.
+//! `--seed N` overrides the ecosystem master seed; `--metrics PATH` dumps a
+//! JSON snapshot of the observability registry (counters, histograms with
+//! p50/p90/p99, recent pipeline events) after the run.
 
-use std::io::Write;
 use vmp_experiments::{run, ReproContext, Scale, ABLATIONS, ALL_EXPERIMENTS};
 
 fn main() {
     let mut scale = Scale::Full;
     let mut json_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
+    let mut seed: Option<u64> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -26,8 +30,26 @@ fn main() {
                     std::process::exit(2);
                 }
             }
+            "--metrics" => {
+                metrics_path = args.next();
+                if metrics_path.is_none() {
+                    eprintln!("--metrics requires a path");
+                    std::process::exit(2);
+                }
+            }
+            "--seed" => {
+                seed = match args.next().map(|s| s.parse::<u64>()) {
+                    Some(Ok(n)) => Some(n),
+                    _ => {
+                        eprintln!("--seed requires a u64 value");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--help" | "-h" => {
-                eprintln!("usage: repro [--quick] [--ablations] [--json PATH] [ID ...]");
+                eprintln!(
+                    "usage: repro [--quick] [--seed N] [--ablations] [--json PATH] [--metrics PATH] [ID ...]"
+                );
                 eprintln!("experiments: {}", ALL_EXPERIMENTS.join(" "));
                 eprintln!("ablations:   {}", ABLATIONS.join(" "));
                 return;
@@ -58,7 +80,7 @@ fn main() {
         ids.len()
     );
     let started = std::time::Instant::now();
-    let ctx = ReproContext::new(scale);
+    let ctx = ReproContext::with_seed(scale, seed);
     eprintln!(
         "ecosystem ready: {} publishers, {} weighted view samples, {} snapshots ({:.1}s)",
         ctx.dataset.profiles.len(),
@@ -78,9 +100,25 @@ fn main() {
 
     if let Some(path) = json_path {
         let json = serde_json::to_string_pretty(&results).expect("results serialize");
-        let mut file = std::fs::File::create(&path).expect("create json output");
-        file.write_all(json.as_bytes()).expect("write json output");
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("cannot write --json output to {path}: {e}");
+            std::process::exit(2);
+        }
         eprintln!("wrote {path}");
+    }
+
+    if let Some(path) = metrics_path {
+        let snapshot = vmp_obs::snapshot();
+        if let Err(e) = std::fs::write(&path, snapshot.to_json_pretty()) {
+            eprintln!("cannot write --metrics output to {path}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!(
+            "wrote {path} ({} counters, {} histograms, {} events)",
+            snapshot.counters.len(),
+            snapshot.histograms.len(),
+            snapshot.events.len()
+        );
     }
 
     let total_checks: usize = results.iter().map(|r| r.checks.len()).sum();

@@ -22,15 +22,25 @@ pub struct ReproContext {
 }
 
 impl ReproContext {
-    /// Generates the ecosystem and ingests its telemetry.
+    /// Generates the ecosystem with the default master seed.
     pub fn new(scale: Scale) -> ReproContext {
-        let config = match scale {
+        ReproContext::with_seed(scale, None)
+    }
+
+    /// Generates the ecosystem, overriding the master seed when given
+    /// (`repro --seed N`); `None` keeps the config default, so published
+    /// EXPERIMENTS.md numbers stay reproducible.
+    pub fn with_seed(scale: Scale, seed: Option<u64>) -> ReproContext {
+        let mut config = match scale {
             Scale::Full => EcosystemConfig {
                 snapshot_stride: 2,
                 ..EcosystemConfig::default()
             },
             Scale::Quick => EcosystemConfig::small(),
         };
+        if let Some(seed) = seed {
+            config.seed = seed;
+        }
         let dataset = Dataset::generate(config);
         let store = ViewStore::ingest(dataset.views.clone());
         ReproContext { dataset, store }

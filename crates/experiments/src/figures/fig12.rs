@@ -96,7 +96,7 @@ fn segregation_stats(ctx: &ReproContext, snapshot: SnapshotId) -> (f64, f64) {
         // conclusive; a sampled dataset needs the explicit test).
         let mut has_vod_only = false;
         let mut has_live_only = false;
-        for (_, (vod, live)) in &p.per_cdn {
+        for (vod, live) in p.per_cdn.values() {
             let cdn_share_of_vod = *vod as f64 / p.vod_total.max(1) as f64;
             let cdn_share_of_live = *live as f64 / p.live_total.max(1) as f64;
             let expected_live = p.live_total as f64 * cdn_share_of_vod;

@@ -30,8 +30,37 @@ pub const ALL_EXPERIMENTS: [&str; 19] = [
 /// by ID).
 pub const ABLATIONS: [&str; 4] = ["abl-abr", "abl-dedup", "abl-broker", "abl-live"];
 
-/// Runs one experiment by ID.
+/// Runs one experiment by ID, stamping wall time and the per-stage latency
+/// breakdown (from global-registry histogram deltas) onto the result.
 pub fn run(id: &str, ctx: &ReproContext) -> Option<ExperimentResult> {
+    let before = vmp_obs::snapshot();
+    let started = std::time::Instant::now();
+    let mut result = dispatch(id, ctx)?;
+    result.wall_time_secs = started.elapsed().as_secs_f64();
+    result.stages = stage_breakdown(&before, &vmp_obs::snapshot());
+    Some(result)
+}
+
+/// Per-stage seconds spent between two registry snapshots: the sum deltas
+/// of every span histogram (spans record nanoseconds; `*_us` histograms
+/// hold simulated virtual-clock values and are excluded).
+fn stage_breakdown(
+    before: &vmp_obs::RegistrySnapshot,
+    after: &vmp_obs::RegistrySnapshot,
+) -> Vec<(String, f64)> {
+    after
+        .histograms
+        .iter()
+        .filter(|(name, _)| !name.ends_with("_us"))
+        .filter_map(|(name, h)| {
+            let prior = before.histograms.get(name).map(|p| p.sum).unwrap_or(0);
+            let delta_ns = h.sum.saturating_sub(prior);
+            (delta_ns > 0).then(|| (name.clone(), delta_ns as f64 / 1e9))
+        })
+        .collect()
+}
+
+fn dispatch(id: &str, ctx: &ReproContext) -> Option<ExperimentResult> {
     match id {
         "tab1" => Some(figures::tab1::run()),
         "fig02" => Some(figures::fig02::run(ctx)),

@@ -48,6 +48,11 @@ pub struct ExperimentResult {
     pub notes: Vec<String>,
     /// Qualitative checks.
     pub checks: Vec<Check>,
+    /// Wall-clock time this experiment took (stamped by the dispatcher).
+    pub wall_time_secs: f64,
+    /// Per-stage seconds spent, from span-histogram deltas over the run
+    /// (stage name → seconds).
+    pub stages: Vec<(String, f64)>,
 }
 
 impl ExperimentResult {
@@ -60,6 +65,8 @@ impl ExperimentResult {
             series: Vec::new(),
             notes: Vec::new(),
             checks: Vec::new(),
+            wall_time_secs: 0.0,
+            stages: Vec::new(),
         }
     }
 
@@ -94,6 +101,18 @@ impl fmt::Display for ExperimentResult {
                 c.name,
                 c.detail
             )?;
+        }
+        if self.wall_time_secs > 0.0 {
+            let stages: Vec<String> = self
+                .stages
+                .iter()
+                .map(|(name, secs)| format!("{name} {secs:.3}s"))
+                .collect();
+            write!(f, "time: {:.3}s", self.wall_time_secs)?;
+            if !stages.is_empty() {
+                write!(f, " ({})", stages.join(", "))?;
+            }
+            writeln!(f)?;
         }
         Ok(())
     }

@@ -102,7 +102,7 @@ impl Element {
                 out.push_str("  ");
             }
         }
-        let _ = write!(out, "</{}>\n", self.name);
+        let _ = writeln!(out, "</{}>", self.name);
     }
 }
 

@@ -1,0 +1,144 @@
+//! Structured pipeline events and the bounded ring-buffer sink.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// What happened, from the fixed vocabulary the pipeline emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// Player buffer drained to empty; playback stalled.
+    RebufferStart,
+    /// Playback resumed after a stall.
+    RebufferStop,
+    /// Broker moved a session to a different CDN.
+    CdnSwitch,
+    /// Edge cache had to go to origin for a chunk.
+    CacheMiss,
+    /// A manifest failed validation or parsing.
+    ManifestParseError,
+    /// Anything else; the detail string carries the specifics.
+    Other,
+}
+
+impl EventKind {
+    /// Stable lowercase label used in exports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EventKind::RebufferStart => "rebuffer_start",
+            EventKind::RebufferStop => "rebuffer_stop",
+            EventKind::CdnSwitch => "cdn_switch",
+            EventKind::CacheMiss => "cache_miss",
+            EventKind::ManifestParseError => "manifest_parse_error",
+            EventKind::Other => "other",
+        }
+    }
+}
+
+/// One recorded pipeline event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Event {
+    /// Monotonic sequence number, assigned at record time; never reused,
+    /// so gaps reveal where the ring dropped history.
+    pub seq: u64,
+    /// Event category.
+    pub kind: EventKind,
+    /// Free-form context (session id, CDN name, chunk index, ...).
+    pub detail: String,
+}
+
+/// Receiver of pipeline events.
+pub trait EventSink: Send + Sync {
+    /// Accepts one event.
+    fn record(&self, event: Event);
+}
+
+/// A bounded sink keeping the newest `capacity` events.
+///
+/// When full, the oldest event is evicted and counted in
+/// [`RingBufferSink::dropped`]; sequence numbers keep increasing so the
+/// amount of lost history is visible in exports.
+pub struct RingBufferSink {
+    capacity: usize,
+    buffer: Mutex<VecDeque<Event>>,
+    next_seq: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl RingBufferSink {
+    /// A sink retaining at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> RingBufferSink {
+        let capacity = capacity.max(1);
+        RingBufferSink {
+            capacity,
+            buffer: Mutex::new(VecDeque::with_capacity(capacity)),
+            next_seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Records an event built from its parts, assigning the next sequence
+    /// number.
+    pub fn push(&self, kind: EventKind, detail: String) {
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        self.record(Event { seq, kind, detail });
+    }
+
+    /// Newest retained events, oldest first (non-destructive).
+    pub fn drain_copy(&self) -> Vec<Event> {
+        self.buffer.lock().iter().cloned().collect()
+    }
+
+    /// Number of events evicted so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.buffer.lock().len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.buffer.lock().is_empty()
+    }
+}
+
+impl EventSink for RingBufferSink {
+    fn record(&self, event: Event) {
+        let mut buffer = self.buffer.lock();
+        if buffer.len() == self.capacity {
+            buffer.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        buffer.push_back(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_newest_and_counts_drops() {
+        let sink = RingBufferSink::new(3);
+        for i in 0..5 {
+            sink.push(EventKind::CacheMiss, format!("chunk-{i}"));
+        }
+        let kept = sink.drain_copy();
+        assert_eq!(kept.len(), 3);
+        assert_eq!(kept[0].seq, 2);
+        assert_eq!(kept[2].seq, 4);
+        assert_eq!(kept[2].detail, "chunk-4");
+        assert_eq!(sink.dropped(), 2);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(EventKind::RebufferStart.label(), "rebuffer_start");
+        assert_eq!(EventKind::CdnSwitch.label(), "cdn_switch");
+    }
+}

@@ -1,0 +1,77 @@
+//! vmp-obs: the observability layer for the vmp workspace.
+//!
+//! Mirrors the paper's management-plane measurement stack (§3: client-side
+//! instrumentation feeding an analytics backend) inside the simulator
+//! itself: every pipeline stage reports into a process-wide
+//! [`MetricsRegistry`] that can be snapshotted and exported as JSON or
+//! Prometheus text.
+//!
+//! Built only on `std::sync::atomic` + `parking_lot` — no external
+//! telemetry dependencies:
+//!
+//! - [`MetricsRegistry`]: named atomic [`Counter`]s, [`Gauge`]s, and
+//!   fixed-bucket [`Histogram`]s with p50/p90/p99 estimation;
+//! - [`span`]: RAII stage timers recording latencies into histograms,
+//!   nesting tracked via a thread-local span stack;
+//! - [`EventSink`] + [`RingBufferSink`]: bounded recorder for structured
+//!   pipeline events (rebuffer start/stop, CDN switch, cache miss,
+//!   manifest parse errors);
+//! - [`RegistrySnapshot`]: point-in-time export, JSON via `serde_json`
+//!   or Prometheus exposition text.
+//!
+//! Handles are cheap clones around `Arc<Atomic*>` and are meant to be
+//! looked up once and cached in hot-path structs. Every handle carries the
+//! registry's shared enabled flag, so a disabled counter increment is one
+//! relaxed load plus a branch (see `crates/bench/benches/obs_overhead.rs`).
+
+mod events;
+mod export;
+mod metrics;
+mod span;
+
+pub use events::{Event, EventKind, EventSink, RingBufferSink};
+pub use export::{CounterSnapshot, GaugeSnapshot, HistogramSnapshot, RegistrySnapshot};
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use span::{current_path, span, span_in, Span};
+
+use std::sync::OnceLock;
+
+static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+
+/// The process-wide registry used by all instrumented crates.
+pub fn global() -> &'static MetricsRegistry {
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+/// Enables or disables all recording through the global registry.
+///
+/// Disabled handles degrade to a single relaxed atomic load; metric values
+/// recorded while disabled are lost, not buffered.
+pub fn set_enabled(enabled: bool) {
+    global().set_enabled(enabled);
+}
+
+/// Convenience: a counter handle from the global registry.
+pub fn counter(name: &str) -> Counter {
+    global().counter(name)
+}
+
+/// Convenience: a gauge handle from the global registry.
+pub fn gauge(name: &str) -> Gauge {
+    global().gauge(name)
+}
+
+/// Convenience: a histogram handle from the global registry.
+pub fn histogram(name: &str) -> Histogram {
+    global().histogram(name)
+}
+
+/// Convenience: records a structured event into the global registry's sink.
+pub fn event(kind: EventKind, detail: impl Into<String>) {
+    global().record_event(kind, detail);
+}
+
+/// Convenience: a point-in-time snapshot of the global registry.
+pub fn snapshot() -> RegistrySnapshot {
+    global().snapshot()
+}

@@ -1,0 +1,396 @@
+//! Named atomic metrics: counters, gauges, and fixed-bucket histograms.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::events::{Event, EventKind, RingBufferSink};
+use crate::export::{HistogramSnapshot, RegistrySnapshot};
+
+/// Number of histogram buckets: a 1-2-5 log series spanning 1 .. 5e11,
+/// plus an implicit overflow bucket tracked by `HISTOGRAM_BUCKETS`'s end.
+pub(crate) const HISTOGRAM_BUCKETS: usize = 36;
+
+/// Upper bounds (inclusive) of the value buckets. Values are raw `u64`s —
+/// callers pick the unit (spans record nanoseconds, byte counters record
+/// bytes) and the 1-2-5 series keeps relative error under ~2.5x per bucket
+/// across eleven decades.
+pub(crate) fn bucket_bound(index: usize) -> u64 {
+    let (decade, step) = (index / 3, index % 3);
+    [1u64, 2, 5][step] * 10u64.pow(decade as u32)
+}
+
+struct HistogramInner {
+    counts: [AtomicU64; HISTOGRAM_BUCKETS],
+    overflow: AtomicU64,
+    sum: AtomicU64,
+    count: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistogramInner {
+    fn new() -> HistogramInner {
+        HistogramInner {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            overflow: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A monotonically increasing named counter.
+///
+/// Cheap to clone; cache one per hot path rather than re-looking it up by
+/// name. When the owning registry is disabled, `inc`/`add` are a relaxed
+/// load and a branch.
+#[derive(Clone)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+    enabled: Arc<AtomicBool>,
+}
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Counter").field(&self.get()).finish()
+    }
+}
+
+/// A named signed gauge (current level, not a rate).
+#[derive(Clone)]
+pub struct Gauge {
+    value: Arc<AtomicI64>,
+    enabled: Arc<AtomicBool>,
+}
+
+impl Gauge {
+    /// Sets the level.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Moves the level by `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.value.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Gauge").field(&self.get()).finish()
+    }
+}
+
+/// A fixed-bucket histogram over raw `u64` values.
+///
+/// Buckets follow a 1-2-5 log series from 1 to 5e11 with an overflow
+/// bucket above, so one shape serves nanosecond latencies and byte sizes
+/// alike. Recording is wait-free (three relaxed `fetch_add`s plus a CAS
+/// loop for the max); quantiles are estimated at snapshot time by linear
+/// interpolation inside the containing bucket.
+#[derive(Clone)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+    enabled: Arc<AtomicBool>,
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        match (0..HISTOGRAM_BUCKETS).find(|&i| value <= bucket_bound(i)) {
+            Some(i) => self.inner.counts[i].fetch_add(1, Ordering::Relaxed),
+            None => self.inner.overflow.fetch_add(1, Ordering::Relaxed),
+        };
+        self.inner.sum.fetch_add(value, Ordering::Relaxed);
+        self.inner.count.fetch_add(1, Ordering::Relaxed);
+        self.inner.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records a duration as nanoseconds (the convention spans use).
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.inner.sum.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time copy of the full distribution.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self
+            .inner
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        HistogramSnapshot::from_raw(
+            counts,
+            self.inner.overflow.load(Ordering::Relaxed),
+            self.inner.sum.load(Ordering::Relaxed),
+            self.inner.count.load(Ordering::Relaxed),
+            self.inner.max.load(Ordering::Relaxed),
+        )
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("sum", &self.sum())
+            .finish()
+    }
+}
+
+/// A registry of named metrics plus a bounded event sink.
+///
+/// Lookup (`counter`/`gauge`/`histogram`) takes a short mutex on the name
+/// table and hands back a clonable handle bound to the underlying atomic;
+/// all recording after that is lock-free. The shared enabled flag turns
+/// every handle into a near-no-op when cleared.
+pub struct MetricsRegistry {
+    enabled: Arc<AtomicBool>,
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicI64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<HistogramInner>>>,
+    events: RingBufferSink,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> MetricsRegistry {
+        MetricsRegistry::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// An enabled registry with a 1024-event ring.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::with_event_capacity(1024)
+    }
+
+    /// An enabled registry whose event ring keeps the newest `capacity`
+    /// events.
+    pub fn with_event_capacity(capacity: usize) -> MetricsRegistry {
+        MetricsRegistry {
+            enabled: Arc::new(AtomicBool::new(true)),
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+            events: RingBufferSink::new(capacity),
+        }
+    }
+
+    /// Turns all recording through this registry's handles on or off.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether recording is currently on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Handle to the counter `name`, creating it at zero if new.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut table = self.counters.lock();
+        let value = table
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)))
+            .clone();
+        Counter { value, enabled: self.enabled.clone() }
+    }
+
+    /// Handle to the gauge `name`, creating it at zero if new.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut table = self.gauges.lock();
+        let value = table
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicI64::new(0)))
+            .clone();
+        Gauge { value, enabled: self.enabled.clone() }
+    }
+
+    /// Handle to the histogram `name`, creating it empty if new.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut table = self.histograms.lock();
+        let inner = table
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(HistogramInner::new()))
+            .clone();
+        Histogram { inner, enabled: self.enabled.clone() }
+    }
+
+    /// Records a structured event into the bounded ring (dropped when the
+    /// registry is disabled).
+    pub fn record_event(&self, kind: EventKind, detail: impl Into<String>) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.events.push(kind, detail.into());
+        }
+    }
+
+    /// The newest retained events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.drain_copy()
+    }
+
+    /// Number of events discarded because the ring was full.
+    pub fn events_dropped(&self) -> u64 {
+        self.events.dropped()
+    }
+
+    /// Point-in-time copy of every metric and the retained events.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let counters = self
+            .counters
+            .lock()
+            .iter()
+            .map(|(name, v)| (name.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .iter()
+            .map(|(name, v)| (name.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .iter()
+            .map(|(name, inner)| {
+                let counts: Vec<u64> =
+                    inner.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+                (
+                    name.clone(),
+                    HistogramSnapshot::from_raw(
+                        counts,
+                        inner.overflow.load(Ordering::Relaxed),
+                        inner.sum.load(Ordering::Relaxed),
+                        inner.count.load(Ordering::Relaxed),
+                        inner.max.load(Ordering::Relaxed),
+                    ),
+                )
+            })
+            .collect();
+        RegistrySnapshot {
+            counters,
+            gauges,
+            histograms,
+            events: self.events.drain_copy(),
+            events_dropped: self.events.dropped(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_are_1_2_5_series() {
+        assert_eq!(bucket_bound(0), 1);
+        assert_eq!(bucket_bound(1), 2);
+        assert_eq!(bucket_bound(2), 5);
+        assert_eq!(bucket_bound(3), 10);
+        assert_eq!(bucket_bound(4), 20);
+        assert_eq!(bucket_bound(HISTOGRAM_BUCKETS - 1), 500_000_000_000);
+    }
+
+    #[test]
+    fn counters_and_gauges_track_values() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("x");
+        c.inc();
+        c.add(4);
+        assert_eq!(reg.counter("x").get(), 5);
+
+        let g = reg.gauge("level");
+        g.set(10);
+        g.add(-3);
+        assert_eq!(reg.gauge("level").get(), 7);
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("x");
+        let h = reg.histogram("h");
+        reg.set_enabled(false);
+        c.inc();
+        h.record(42);
+        reg.record_event(EventKind::CacheMiss, "edge");
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.count(), 0);
+        assert!(reg.events().is_empty());
+        reg.set_enabled(true);
+        c.inc();
+        assert_eq!(c.get(), 1);
+    }
+
+    #[test]
+    fn histogram_counts_sum_and_max() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat");
+        for v in [1u64, 3, 3, 1000, 7_000_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1 + 3 + 3 + 1000 + 7_000_000);
+        let snap = h.snapshot();
+        assert_eq!(snap.max, 7_000_000);
+        assert_eq!(snap.count, 5);
+    }
+
+    #[test]
+    fn values_beyond_last_bound_land_in_overflow() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("big");
+        h.record(u64::MAX);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1);
+        assert!(snap.quantile(0.5) >= bucket_bound(HISTOGRAM_BUCKETS - 1) as f64);
+    }
+}

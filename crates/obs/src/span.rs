@@ -1,0 +1,122 @@
+//! RAII stage timers with a thread-local nesting stack.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+use crate::metrics::Histogram;
+
+thread_local! {
+    /// Names of the spans currently open on this thread, outermost first.
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Times a pipeline stage from construction to drop, recording the elapsed
+/// nanoseconds into the named histogram of the registry it was opened
+/// against. Spans nest: the thread-local stack tracks enclosing stage
+/// names, exposed via [`Span::path`] and [`current_path`].
+pub struct Span {
+    name: &'static str,
+    start: Option<Instant>,
+    histogram: Histogram,
+    depth: usize,
+}
+
+/// Opens a span on the global registry (see [`span_in`]).
+pub fn span(name: &'static str) -> Span {
+    span_in(crate::global(), name)
+}
+
+/// Opens a span recording into `registry`'s histogram `name`.
+///
+/// When the registry is disabled the span skips the clock read entirely and
+/// drop is a near-no-op.
+pub fn span_in(registry: &crate::MetricsRegistry, name: &'static str) -> Span {
+    let histogram = registry.histogram(name);
+    let start = registry.is_enabled().then(Instant::now);
+    let depth = SPAN_STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        stack.push(name);
+        stack.len()
+    });
+    Span { name, start, histogram, depth }
+}
+
+/// The full path of open spans on this thread, joined with '/'.
+pub fn current_path() -> String {
+    SPAN_STACK.with(|stack| stack.borrow().join("/"))
+}
+
+impl Span {
+    /// This span's stage name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Nesting depth (1 = outermost).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Path from the outermost enclosing span down to this one.
+    pub fn path(&self) -> String {
+        SPAN_STACK.with(|stack| stack.borrow()[..self.depth].join("/"))
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Spans are expected to drop in LIFO order, but be tolerant of
+            // early drops: truncate back to this span's parent.
+            stack.truncate(self.depth.saturating_sub(1));
+        });
+        if let Some(start) = self.start {
+            self.histogram.record_duration(start.elapsed());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricsRegistry;
+
+    #[test]
+    fn span_records_elapsed_into_histogram() {
+        let reg = MetricsRegistry::new();
+        {
+            let _s = span_in(&reg, "stage.alpha");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let h = reg.histogram("stage.alpha");
+        assert_eq!(h.count(), 1);
+        assert!(h.sum() >= 2_000_000, "expected >=2ms recorded, got {}ns", h.sum());
+    }
+
+    #[test]
+    fn spans_nest_via_thread_local_stack() {
+        let reg = MetricsRegistry::new();
+        let outer = span_in(&reg, "outer");
+        assert_eq!(outer.depth(), 1);
+        {
+            let inner = span_in(&reg, "inner");
+            assert_eq!(inner.depth(), 2);
+            assert_eq!(inner.path(), "outer/inner");
+            assert_eq!(current_path(), "outer/inner");
+        }
+        assert_eq!(current_path(), "outer");
+        drop(outer);
+        assert_eq!(current_path(), "");
+    }
+
+    #[test]
+    fn disabled_registry_span_records_nothing() {
+        let reg = MetricsRegistry::new();
+        reg.set_enabled(false);
+        {
+            let _s = span_in(&reg, "quiet");
+        }
+        assert_eq!(reg.histogram("quiet").count(), 0);
+    }
+}

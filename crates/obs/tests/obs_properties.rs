@@ -1,0 +1,153 @@
+//! Integration tests: concurrency correctness, quantile accuracy, and
+//! snapshot round-trips.
+
+use proptest::prelude::*;
+use vmp_obs::{EventKind, MetricsRegistry, RegistrySnapshot};
+
+#[test]
+fn concurrent_counter_increments_sum_exactly() {
+    const THREADS: usize = 8;
+    const INCREMENTS: u64 = 50_000;
+    let reg = MetricsRegistry::new();
+    let counter = reg.counter("t.concurrent");
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let counter = counter.clone();
+            scope.spawn(move |_| {
+                for _ in 0..INCREMENTS {
+                    counter.inc();
+                }
+            });
+        }
+    })
+    .unwrap();
+    assert_eq!(reg.counter("t.concurrent").get(), THREADS as u64 * INCREMENTS);
+}
+
+#[test]
+fn concurrent_histogram_records_preserve_count_and_sum() {
+    const THREADS: u64 = 8;
+    const RECORDS: u64 = 20_000;
+    let reg = MetricsRegistry::new();
+    let hist = reg.histogram("t.latency");
+    crossbeam::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let hist = hist.clone();
+            scope.spawn(move |_| {
+                for i in 0..RECORDS {
+                    // Deterministic per-thread values spanning many buckets.
+                    hist.record((t * RECORDS + i) % 10_000 + 1);
+                }
+            });
+        }
+    })
+    .unwrap();
+    let snap = reg.histogram("t.latency").snapshot();
+    assert_eq!(snap.count, THREADS * RECORDS);
+    let bucket_total: u64 = snap.buckets.iter().map(|(_, c)| c).sum::<u64>() + snap.overflow;
+    assert_eq!(bucket_total, snap.count);
+}
+
+#[test]
+fn concurrent_lookups_resolve_to_one_counter() {
+    let reg = MetricsRegistry::new();
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..8 {
+            let reg = &reg;
+            scope.spawn(move |_| {
+                for _ in 0..1_000 {
+                    reg.counter("t.shared").inc();
+                }
+            });
+        }
+    })
+    .unwrap();
+    assert_eq!(reg.counter("t.shared").get(), 8_000);
+}
+
+#[test]
+fn quantiles_are_within_bucket_resolution() {
+    let reg = MetricsRegistry::new();
+    let hist = reg.histogram("t.quantiles");
+    // Uniform 1..=1000: true p50 = 500, p90 = 900, p99 = 990.
+    for v in 1..=1000u64 {
+        hist.record(v);
+    }
+    let snap = hist.snapshot();
+    // 1-2-5 buckets bound relative error by the bucket width; at these
+    // magnitudes the containing buckets are (200,500] and (500,1000].
+    assert!((200.0..=500.0).contains(&snap.p50), "p50 = {}", snap.p50);
+    assert!((500.0..=1000.0).contains(&snap.p90), "p90 = {}", snap.p90);
+    assert!((900.0..=1000.0).contains(&snap.p99), "p99 = {}", snap.p99);
+    assert!(snap.p50 <= snap.p90 && snap.p90 <= snap.p99, "quantiles must be monotone");
+    assert_eq!(snap.max, 1000);
+    assert!((snap.mean() - 500.5).abs() < 1e-9);
+}
+
+#[test]
+fn ring_buffer_overflow_keeps_newest() {
+    let reg = MetricsRegistry::with_event_capacity(10);
+    for i in 0..25 {
+        reg.record_event(EventKind::CacheMiss, format!("event-{i}"));
+    }
+    let events = reg.events();
+    assert_eq!(events.len(), 10);
+    assert_eq!(reg.events_dropped(), 15);
+    assert_eq!(events.first().unwrap().detail, "event-15");
+    assert_eq!(events.last().unwrap().detail, "event-24");
+    // Sequence numbers stay monotone across the drop.
+    for pair in events.windows(2) {
+        assert_eq!(pair[1].seq, pair[0].seq + 1);
+    }
+}
+
+#[test]
+fn snapshot_json_has_all_sections() {
+    let reg = MetricsRegistry::new();
+    reg.counter("session.chunks").add(7);
+    reg.gauge("session.buffer").set(-3);
+    reg.histogram("cdn.fetch_ns").record(12_345);
+    reg.record_event(EventKind::CdnSwitch, "A -> B");
+    let snap = reg.snapshot();
+    let parsed: RegistrySnapshot = serde_json::from_str(&snap.to_json()).unwrap();
+    assert_eq!(parsed.counters["session.chunks"], 7);
+    assert_eq!(parsed.gauges["session.buffer"], -3);
+    assert_eq!(parsed.histograms["cdn.fetch_ns"].count, 1);
+    assert_eq!(parsed.events.len(), 1);
+    assert_eq!(parsed.events[0].kind, EventKind::CdnSwitch);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any registry contents survive JSON snapshot → parse unchanged.
+    #[test]
+    fn snapshot_roundtrips_through_json(
+        counters in proptest::collection::vec(("c[a-z]{1,8}\\.[a-z]{1,8}", 0u64..=1_000_000_000), 0..8),
+        gauge_vals in proptest::collection::vec(("g[a-z]{1,8}", -500_000i64..=500_000), 0..5),
+        samples in proptest::collection::vec(1u64..=5_000_000_000, 0..60),
+        details in proptest::collection::vec("\\PC{0,40}", 0..6),
+    ) {
+        let reg = MetricsRegistry::new();
+        for (name, v) in &counters {
+            reg.counter(name).add(*v);
+        }
+        for (name, v) in &gauge_vals {
+            reg.gauge(name).set(*v);
+        }
+        let hist = reg.histogram("h.samples");
+        for s in &samples {
+            hist.record(*s);
+        }
+        for d in &details {
+            reg.record_event(EventKind::Other, d.clone());
+        }
+        let snap = reg.snapshot();
+        let json = snap.to_json();
+        let parsed: RegistrySnapshot = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(&parsed, &snap);
+        // Pretty form parses to the same value too.
+        let reparsed: RegistrySnapshot = serde_json::from_str(&snap.to_json_pretty()).unwrap();
+        prop_assert_eq!(&reparsed, &snap);
+    }
+}

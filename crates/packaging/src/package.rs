@@ -191,7 +191,7 @@ impl Packager {
         let url = manifest_url(protocol, &cdn.host(), &prefix, &token);
 
         let addressing = if self.byte_range { Addressing::ByteRange } else { Addressing::ChunkFiles };
-        let overhead = container_overhead(protocol) * self.drm.cost_factor().max(1.0).min(1.02);
+        let overhead = container_overhead(protocol) * self.drm.cost_factor().clamp(1.0, 1.02);
         // Storage duration: live events are retained for their event length
         // (catch-up window) in our model.
         let stored = asset.duration;

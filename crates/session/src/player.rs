@@ -139,11 +139,38 @@ pub struct SessionOutcome {
     pub downloaded: Seconds,
 }
 
+/// Cached handles into the global metrics registry, resolved once per
+/// player so the per-chunk hot loop never takes the registry lock.
+struct SessionMetrics {
+    sessions: vmp_obs::Counter,
+    chunks_fetched: vmp_obs::Counter,
+    chunk_download_us: vmp_obs::Histogram,
+    rebuffer_events: vmp_obs::Counter,
+    bitrate_switches: vmp_obs::Counter,
+    cdn_switches: vmp_obs::Counter,
+    startup_delay_us: vmp_obs::Histogram,
+}
+
+impl SessionMetrics {
+    fn new() -> SessionMetrics {
+        SessionMetrics {
+            sessions: vmp_obs::counter("session.sessions"),
+            chunks_fetched: vmp_obs::counter("session.chunks_fetched"),
+            chunk_download_us: vmp_obs::histogram("session.chunk_download_us"),
+            rebuffer_events: vmp_obs::counter("session.rebuffer_events"),
+            bitrate_switches: vmp_obs::counter("session.bitrate_switches"),
+            cdn_switches: vmp_obs::counter("session.cdn_switches"),
+            startup_delay_us: vmp_obs::histogram("session.startup_delay_us"),
+        }
+    }
+}
+
 /// The player: owns the per-session mutable state.
 pub struct Player<'a> {
     config: PlaybackConfig,
     network: NetworkModel,
     abr: &'a dyn AbrAlgorithm,
+    metrics: SessionMetrics,
 }
 
 impl<'a> Player<'a> {
@@ -154,7 +181,7 @@ impl<'a> Player<'a> {
         abr: &'a dyn AbrAlgorithm,
     ) -> Result<Player<'a>, String> {
         config.validate()?;
-        Ok(Player { config, network, abr })
+        Ok(Player { config, network, abr, metrics: SessionMetrics::new() })
     }
 
     /// Plays a single-CDN session with ideal (always-hit) edges.
@@ -186,6 +213,7 @@ impl<'a> Player<'a> {
         let cfg = &self.config;
         let target = Seconds(cfg.intended_watch.0.min(cfg.content_duration.0));
         let mut predictor = HarmonicMeanPredictor::new(5);
+        self.metrics.sessions.inc();
 
         let mut cdn = initial_cdn;
         let mut cdns = vec![cdn];
@@ -212,6 +240,11 @@ impl<'a> Player<'a> {
                             cdns.push(cdn);
                         }
                         cdn_switches += 1;
+                        self.metrics.cdn_switches.inc();
+                        vmp_obs::event(
+                            vmp_obs::EventKind::CdnSwitch,
+                            format!("chunk {chunk_index}: failover to {next:?}"),
+                        );
                         predictor.reset();
                     }
                 }
@@ -226,6 +259,7 @@ impl<'a> Player<'a> {
             let bitrate = self.abr.choose(&cfg.ladder, &state);
             if last_bitrate != Kbps::ZERO && bitrate != last_bitrate {
                 switches += 1;
+                self.metrics.bitrate_switches.inc();
             }
 
             // Download.
@@ -242,6 +276,9 @@ impl<'a> Player<'a> {
             }
             let transfer = size.0 as f64 * 8.0 / (throughput.bits_per_sec() as f64);
             let download_time = Seconds(transfer + latency);
+            self.metrics.chunks_fetched.inc();
+            // Simulated (virtual-clock) download time, in microseconds.
+            self.metrics.chunk_download_us.record((download_time.0 * 1e6) as u64);
 
             // Buffer dynamics.
             if !started {
@@ -255,6 +292,15 @@ impl<'a> Player<'a> {
                 if after_drain < 0.0 {
                     rebuffer += Seconds(-after_drain);
                     buffer = Seconds::ZERO;
+                    self.metrics.rebuffer_events.inc();
+                    vmp_obs::event(
+                        vmp_obs::EventKind::RebufferStart,
+                        format!("chunk {chunk_index}: buffer empty on {cdn:?}"),
+                    );
+                    vmp_obs::event(
+                        vmp_obs::EventKind::RebufferStop,
+                        format!("chunk {chunk_index}: stalled {:.3}s", -after_drain),
+                    );
                 } else {
                     buffer = Seconds(after_drain);
                 }
@@ -280,6 +326,7 @@ impl<'a> Player<'a> {
             chunk_index += 1;
         }
 
+        self.metrics.startup_delay_us.record((startup_delay.0 * 1e6) as u64);
         let played = downloaded;
         let avg_bitrate = if played.0 > 0.0 {
             Kbps((weighted_bits / played.0) as u32)

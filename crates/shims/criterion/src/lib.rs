@@ -1,0 +1,210 @@
+//! Offline shim for `criterion`.
+//!
+//! A minimal wall-clock benchmark harness exposing the criterion API surface
+//! this workspace uses: `Criterion`, `benchmark_group` / `BenchmarkGroup`
+//! with `sample_size` and `finish`, `bench_function`, `Bencher::iter`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Compared to upstream criterion there is no statistical analysis, HTML
+//! report, or outlier detection: each benchmark calibrates an iteration
+//! count targeting ~5ms per sample, takes `sample_size` samples, and prints
+//! the median, best, and worst ns/iter to stdout. Good enough to compare
+//! orders of magnitude (the use here: instrumentation overhead numbers).
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Minimum measured span per sample; keeps timer overhead amortised.
+const TARGET_SAMPLE_NANOS: u128 = 5_000_000;
+
+/// Benchmark harness entry point.
+pub struct Criterion {
+    filter: Option<String>,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // Honor `cargo bench -- <filter>`; ignore flag-style args criterion
+        // would normally parse (--bench, --save-baseline, ...).
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        Criterion { filter, default_sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    /// Sets the default sample count for benchmarks run under this harness
+    /// (builder form, used by `criterion_group!`'s `config = ...` arm).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.default_sample_size = n.max(2);
+        self
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let id = id.to_string();
+        run_benchmark(&id, self.filter.as_deref(), self.default_sample_size, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(&full, self.criterion.filter.as_deref(), self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; times the routine under test.
+pub struct Bencher {
+    iters: u64,
+    nanos: u128,
+}
+
+impl Bencher {
+    /// Times `routine`, running it enough times to dominate timer overhead.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.nanos = start.elapsed().as_nanos();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    id: &str,
+    filter: Option<&str>,
+    sample_size: usize,
+    mut f: F,
+) {
+    if let Some(filter) = filter {
+        if !id.contains(filter) {
+            return;
+        }
+    }
+
+    // Calibrate: grow the iteration count until one sample is long enough.
+    let mut iters: u64 = 1;
+    loop {
+        let mut b = Bencher { iters, nanos: 0 };
+        f(&mut b);
+        if b.nanos >= TARGET_SAMPLE_NANOS || iters >= 1 << 30 {
+            break;
+        }
+        // Aim straight for the target with headroom, at least doubling.
+        let scaled = if b.nanos == 0 {
+            iters * 100
+        } else {
+            ((iters as u128 * TARGET_SAMPLE_NANOS * 2) / b.nanos) as u64
+        };
+        iters = scaled.max(iters * 2);
+    }
+
+    let mut per_iter: Vec<f64> = (0..sample_size)
+        .map(|_| {
+            let mut b = Bencher { iters, nanos: 0 };
+            f(&mut b);
+            b.nanos as f64 / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+
+    let median = per_iter[per_iter.len() / 2];
+    let best = per_iter[0];
+    let worst = per_iter[per_iter.len() - 1];
+    println!(
+        "{id:<50} {median:>12.2} ns/iter  (best {best:.2}, worst {worst:.2}, {sample_size} samples x {iters} iters)"
+    );
+}
+
+/// Bundles benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_and_prints() {
+        let mut c = Criterion { filter: None, default_sample_size: 30 };
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(2);
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| black_box(1u64 + 1));
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("matches-nothing-xyz".into()),
+            default_sample_size: 30,
+        };
+        let mut ran = false;
+        c.bench_function("skipped", |b| {
+            ran = true;
+            b.iter(|| ());
+        });
+        assert!(!ran);
+    }
+}

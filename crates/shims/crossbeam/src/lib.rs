@@ -1,0 +1,90 @@
+//! Offline shim for `crossbeam`.
+//!
+//! Provides `crossbeam::thread::scope` / `Scope::spawn` /
+//! `ScopedJoinHandle::join` with crossbeam's signatures, implemented on
+//! `std::thread::scope` (stable since Rust 1.63, which removed the original
+//! motivation for crossbeam's scoped threads). Only the API surface this
+//! workspace uses is provided.
+
+/// Scoped threads (see [`thread::scope`]).
+pub mod thread {
+    use std::any::Any;
+
+    /// The error half of a [`Result`] returned by joins: the boxed panic
+    /// payload of the child thread.
+    pub type JoinError = Box<dyn Any + Send + 'static>;
+
+    /// A scope handle passed to the closure and to every spawned thread.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a thread spawned inside a scope.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. As in crossbeam, the closure receives the
+        /// scope so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner_scope = self.inner;
+            ScopedJoinHandle {
+                inner: inner_scope.spawn(move || f(&Scope { inner: inner_scope })),
+            }
+        }
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result (`Err` = panicked).
+        pub fn join(self) -> Result<T, JoinError> {
+            self.inner.join()
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed-data threads can be spawned;
+    /// all spawned threads are joined before this returns.
+    ///
+    /// Unlike crossbeam, an unjoined panicking child re-panics here (via
+    /// `std::thread::scope`) instead of surfacing as `Err`; callers in this
+    /// workspace `.expect()` the result either way.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, JoinError>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn scope_spawns_and_joins_with_borrows() {
+        let data = vec![1u64, 2, 3, 4];
+        let total: u64 = thread::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| scope.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("no panic")).sum()
+        })
+        .expect("scope");
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let n = thread::scope(|scope| {
+            let h = scope.spawn(|inner| inner.spawn(|_| 21).join().expect("inner") * 2);
+            h.join().expect("outer")
+        })
+        .expect("scope");
+        assert_eq!(n, 42);
+    }
+}

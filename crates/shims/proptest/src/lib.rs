@@ -1,0 +1,571 @@
+//! Offline shim for `proptest`.
+//!
+//! A deterministic random-testing harness exposing the subset of proptest
+//! this workspace uses: the [`Strategy`] trait with `prop_map`, integer /
+//! float range strategies, tuple strategies, `collection::{vec, btree_set}`,
+//! `bool::ANY`, regex-lite string strategies, and the `proptest!`,
+//! `prop_assert!`, `prop_assert_eq!` macros. Differences from upstream,
+//! deliberately accepted for a zero-dependency build:
+//!
+//! - no shrinking: a failing case panics with the generated inputs in the
+//!   assertion message (cases are deterministic per test name, so failures
+//!   reproduce exactly);
+//! - no persistence: `*.proptest-regressions` files are ignored;
+//! - string strategies support the regex-lite subset actually used here
+//!   (literals, escapes, `[...]` classes, `{m}`/`{m,n}`/`*`/`+`/`?`
+//!   quantifiers, and `\PC` for printable characters).
+
+/// Deterministic split-mix RNG seeded from the test name.
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// RNG for a named test: same name → same case sequence, every run.
+    pub fn for_test(name: &str) -> TestRng {
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng(h | 1)
+    }
+
+    /// Next 64 random bits (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`; 0 when `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A value generator (proptest's core trait, minus shrinking).
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A constant strategy (proptest's `Just`).
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// --- numeric ranges --------------------------------------------------------
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full-width range: any value.
+                    rng.next_u64() as $t
+                } else {
+                    lo.wrapping_add(rng.below(span) as $t)
+                }
+            }
+        }
+    )*};
+}
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.unit() as $t) * (self.end - self.start)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                lo + (rng.unit() as $t) * (hi - lo)
+            }
+        }
+    )*};
+}
+impl_float_range!(f32, f64);
+
+// --- tuples ----------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+// --- collections -----------------------------------------------------------
+
+/// Collection size specification (from a usize range or literal).
+#[derive(Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // inclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { lo: n, hi: n }
+    }
+}
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange { lo: r.start, hi: r.end - 1 }
+    }
+}
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+        SizeRange { lo: *r.start(), hi: *r.end() }
+    }
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        self.lo + rng.below((self.hi - self.lo + 1) as u64) as usize
+    }
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{SizeRange, Strategy, TestRng};
+    use std::collections::BTreeSet;
+
+    /// Strategy for `Vec<T>` with a size range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors of `element` values with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<T>` with a size range.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates sets of `element` values with size in `size` (best-effort
+    /// when the element domain is smaller than the requested size).
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size: size.into() }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.size.sample(rng);
+            let mut set = BTreeSet::new();
+            let mut attempts = 0usize;
+            while set.len() < target && attempts < target.saturating_mul(50) + 100 {
+                set.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            assert!(
+                set.len() >= self.size.lo,
+                "btree_set could not reach minimum size {} (domain too small?)",
+                self.size.lo
+            );
+            set
+        }
+    }
+}
+
+/// Boolean strategies (`proptest::bool`).
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    /// Strategy generating either boolean.
+    pub struct Any;
+
+    /// Uniform over `{true, false}`.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+// --- regex-lite string strategies ------------------------------------------
+
+enum PatternAtom {
+    Literal(char),
+    Class(Vec<(char, char)>),
+    AnyPrintable,
+}
+
+struct PatternPiece {
+    atom: PatternAtom,
+    min: usize,
+    max: usize,
+}
+
+/// Pool of printable non-ASCII characters for `\PC` sampling.
+const PRINTABLE_EXTRAS: &[char] =
+    &['é', 'ß', 'λ', 'Ж', '→', '中', '界', '𝔸', '¿', 'ñ', '…', '€'];
+
+fn parse_pattern(pattern: &str) -> Vec<PatternPiece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '\\' => {
+                i += 1;
+                match chars.get(i) {
+                    Some('P') | Some('p') => {
+                        // `\PC` / `\pC`-style Unicode class: treat as "any
+                        // printable character" (the only use here is \PC).
+                        i += 1; // consume the category letter
+                        PatternAtom::AnyPrintable
+                    }
+                    Some(&c) => PatternAtom::Literal(c),
+                    None => panic!("pattern ends with bare backslash: {pattern}"),
+                }
+            }
+            '[' => {
+                let mut ranges = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = if chars[i] == '\\' {
+                        i += 1;
+                        chars[i]
+                    } else {
+                        chars[i]
+                    };
+                    if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|c| *c != ']')
+                    {
+                        let hi = chars[i + 2];
+                        ranges.push((lo, hi));
+                        i += 3;
+                    } else {
+                        ranges.push((lo, lo));
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in pattern: {pattern}");
+                PatternAtom::Class(ranges)
+            }
+            '.' => PatternAtom::AnyPrintable,
+            c => PatternAtom::Literal(c),
+        };
+        i += 1;
+        // Quantifier.
+        let (min, max) = match chars.get(i) {
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|c| *c == '}')
+                    .unwrap_or_else(|| panic!("unterminated quantifier in pattern: {pattern}"));
+                let body: String = chars[i + 1..i + close].iter().collect();
+                i += close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("quantifier lower bound"),
+                        hi.trim().parse().expect("quantifier upper bound"),
+                    ),
+                    None => {
+                        let n = body.trim().parse().expect("quantifier count");
+                        (n, n)
+                    }
+                }
+            }
+            _ => (1, 1),
+        };
+        pieces.push(PatternPiece { atom, min, max });
+    }
+    pieces
+}
+
+fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for piece in parse_pattern(pattern) {
+        let count = piece.min + rng.below((piece.max - piece.min + 1) as u64) as usize;
+        for _ in 0..count {
+            match &piece.atom {
+                PatternAtom::Literal(c) => out.push(*c),
+                PatternAtom::Class(ranges) => {
+                    let (lo, hi) = ranges[rng.below(ranges.len() as u64) as usize];
+                    let span = hi as u32 - lo as u32 + 1;
+                    let code = lo as u32 + rng.below(span as u64) as u32;
+                    out.push(char::from_u32(code).unwrap_or(lo));
+                }
+                PatternAtom::AnyPrintable => {
+                    if rng.below(8) == 0 {
+                        out.push(PRINTABLE_EXTRAS[rng.below(PRINTABLE_EXTRAS.len() as u64) as usize]);
+                    } else {
+                        out.push((0x20u8 + rng.below(0x5F) as u8) as char);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        sample_pattern(self, rng)
+    }
+}
+
+// --- runner config & macros ------------------------------------------------
+
+/// Runner configuration (proptest's `ProptestConfig`, cases only).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// Asserts a property (panics on failure; this shim does not shrink).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality of two expressions.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality of two expressions.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Declares property tests: each `#[test] fn name(arg in strategy, ...)`
+/// becomes a test running `cases` deterministic samples.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::for_test(stringify!($name));
+            for _case in 0..config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                $body
+            }
+        }
+    )*};
+}
+
+/// Common imports (`proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    };
+    /// Nested access as `prop::collection::...` (proptest re-exports the
+    /// crate under `prop` in its prelude).
+    pub mod prop {
+        pub use crate::{bool, collection};
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::for_test("ranges");
+        for _ in 0..1000 {
+            let a = (10u32..20).generate(&mut rng);
+            assert!((10..20).contains(&a));
+            let b = (5u64..=5).generate(&mut rng);
+            assert_eq!(b, 5);
+            let c = (0.5f64..2.0).generate(&mut rng);
+            assert!((0.5..2.0).contains(&c));
+        }
+    }
+
+    #[test]
+    fn collections_respect_sizes() {
+        let mut rng = TestRng::for_test("collections");
+        for _ in 0..200 {
+            let v = collection::vec(0u32..100, 2..5).generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            let s = collection::btree_set(0u32..1000, 3..=6).generate(&mut rng);
+            assert!((3..=6).contains(&s.len()));
+        }
+    }
+
+    #[test]
+    fn patterns_match_intent() {
+        let mut rng = TestRng::for_test("patterns");
+        for _ in 0..200 {
+            let s = "[a-z0-9]{4,12}".generate(&mut rng);
+            assert!((4..=12).contains(&s.chars().count()), "{s}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()), "{s}");
+
+            let host = "[a-z]{3,10}\\.example\\.net".generate(&mut rng);
+            assert!(host.ends_with(".example.net"), "{host}");
+
+            let any = "\\PC{0,120}".generate(&mut rng);
+            assert!(any.chars().count() <= 120);
+            assert!(any.chars().all(|c| !c.is_control()), "{any:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = TestRng::for_test("same");
+        let mut b = TestRng::for_test("same");
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself works end to end.
+        #[test]
+        fn macro_generates_and_runs(x in 1u32..=100, s in "[a-f]{2}", flip in crate::bool::ANY) {
+            prop_assert!((1..=100).contains(&x));
+            prop_assert_eq!(s.len(), 2);
+            let _ = flip;
+        }
+    }
+}

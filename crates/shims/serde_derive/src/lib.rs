@@ -1,0 +1,391 @@
+//! Offline shim for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the JSON-tree traits of the sibling `serde` shim, with no `syn`/`quote`
+//! dependency: the item is parsed directly from the `proc_macro` token
+//! stream and the impl is emitted as source text. Supported shapes (the
+//! ones this workspace uses):
+//!
+//! - structs with named fields, tuple structs (newtype and wider), unit
+//!   structs;
+//! - enums with unit, newtype, tuple and struct variants.
+//!
+//! Generic types and `#[serde(...)]` attributes are intentionally not
+//! supported and fail loudly at expansion time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving item.
+enum Item {
+    /// Named-field struct: field names in declaration order.
+    Struct(String, Vec<String>),
+    /// Tuple struct with N fields.
+    TupleStruct(String, usize),
+    /// Unit struct.
+    UnitStruct(String),
+    /// Enum: (variant name, shape) pairs.
+    Enum(String, Vec<(String, VariantShape)>),
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// Derives `serde::Serialize` (JSON-tree rendering).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct(name, fields) => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "fields.push((::std::string::String::from(\"{f}\"), \
+                     ::serde::Serialize::to_json(&self.{f})));\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn to_json(&self) -> ::serde::Json {{\n\
+                     let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Json)> = \
+                       ::std::vec::Vec::new();\n\
+                     {pushes}\
+                     ::serde::Json::Object(fields)\n\
+                   }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct(name, 1) => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+               fn to_json(&self) -> ::serde::Json {{ ::serde::Serialize::to_json(&self.0) }}\n\
+             }}"
+        ),
+        Item::TupleStruct(name, n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_json(&self.{i})")).collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn to_json(&self) -> ::serde::Json {{\n\
+                     ::serde::Json::Array(::std::vec![{}])\n\
+                   }}\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+        Item::UnitStruct(name) => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+               fn to_json(&self) -> ::serde::Json {{ ::serde::Json::Null }}\n\
+             }}"
+        ),
+        Item::Enum(name, variants) => {
+            let mut arms = String::new();
+            for (v, shape) in variants {
+                match shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{v} => \
+                         ::serde::Json::Str(::std::string::String::from(\"{v}\")),\n"
+                    )),
+                    VariantShape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{v}(f0) => ::serde::Json::Object(::std::vec![(\
+                           ::std::string::String::from(\"{v}\"), \
+                           ::serde::Serialize::to_json(f0))]),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let tos: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_json(f{i})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v}({}) => ::serde::Json::Object(::std::vec![(\
+                               ::std::string::String::from(\"{v}\"), \
+                               ::serde::Json::Array(::std::vec![{}]))]),\n",
+                            binds.join(", "),
+                            tos.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binds = fields.join(", ");
+                        let tos: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), \
+                                     ::serde::Serialize::to_json({f}))"
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Json::Object(::std::vec![(\
+                               ::std::string::String::from(\"{v}\"), \
+                               ::serde::Json::Object(::std::vec![{}]))]),\n",
+                            tos.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn to_json(&self) -> ::serde::Json {{\n\
+                     match self {{\n{arms}}}\n\
+                   }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("derive(Serialize) emitted invalid Rust")
+}
+
+/// Derives `serde::Deserialize` (JSON-tree parsing).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::Struct(name, fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_json(\
+                           v.get(\"{f}\").unwrap_or(&::serde::Json::Null))\
+                           .map_err(|e| ::std::format!(\"{name}.{f}: {{}}\", e))?"
+                    )
+                })
+                .collect();
+            format!("::std::result::Result::Ok({name} {{ {} }})", inits.join(", "))
+        }
+        Item::TupleStruct(name, 1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_json(v)?))")
+        }
+        Item::TupleStruct(name, n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_json(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = v.as_array()\
+                   .ok_or_else(|| ::std::format!(\"{name}: expected array\"))?;\n\
+                 if items.len() != {n} {{\n\
+                   return ::std::result::Result::Err(\
+                     ::std::format!(\"{name}: expected {n} elements, got {{}}\", items.len()));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Item::UnitStruct(name) => format!("::std::result::Result::Ok({name})"),
+        Item::Enum(name, variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for (v, shape) in variants {
+                match shape {
+                    VariantShape::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n"
+                        ));
+                    }
+                    VariantShape::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}(\
+                           ::serde::Deserialize::from_json(payload)\
+                           .map_err(|e| ::std::format!(\"{name}::{v}: {{}}\", e))?)),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_json(&items[{i}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{v}\" => {{\n\
+                               let items = payload.as_array()\
+                                 .ok_or_else(|| ::std::format!(\"{name}::{v}: expected array\"))?;\n\
+                               if items.len() != {n} {{\n\
+                                 return ::std::result::Result::Err(\
+                                   ::std::format!(\"{name}::{v}: expected {n} elements\"));\n\
+                               }}\n\
+                               ::std::result::Result::Ok({name}::{v}({}))\n\
+                             }}\n",
+                            inits.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_json(\
+                                       payload.get(\"{f}\").unwrap_or(&::serde::Json::Null))\
+                                       .map_err(|e| ::std::format!(\"{name}::{v}.{f}: {{}}\", e))?"
+                                )
+                            })
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{v}\" => ::std::result::Result::Ok({name}::{v} {{ {} }}),\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "if let ::std::option::Option::Some(s) = v.as_str() {{\n\
+                   return match s {{\n\
+                     {unit_arms}\
+                     other => ::std::result::Result::Err(\
+                       ::std::format!(\"{name}: unknown unit variant {{other}}\")),\n\
+                   }};\n\
+                 }}\n\
+                 let fields = v.as_object()\
+                   .ok_or_else(|| ::std::format!(\"{name}: expected string or object\"))?;\n\
+                 if fields.len() != 1 {{\n\
+                   return ::std::result::Result::Err(\
+                     ::std::format!(\"{name}: expected single-key variant object\"));\n\
+                 }}\n\
+                 let (tag, payload) = &fields[0];\n\
+                 let _ = payload;\n\
+                 match tag.as_str() {{\n\
+                   {tagged_arms}\
+                   other => ::std::result::Result::Err(\
+                     ::std::format!(\"{name}: unknown variant {{other}}\")),\n\
+                 }}"
+            )
+        }
+    };
+    let name = match &item {
+        Item::Struct(n, _) | Item::TupleStruct(n, _) | Item::UnitStruct(n) | Item::Enum(n, _) => n,
+    };
+    let code = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+           fn from_json(v: &::serde::Json) \
+             -> ::std::result::Result<Self, ::std::string::String> {{\n\
+             {body}\n\
+           }}\n\
+         }}"
+    );
+    code.parse().expect("derive(Deserialize) emitted invalid Rust")
+}
+
+// --- token-stream parsing --------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim derive: expected struct/enum, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive: generic type {name} is not supported");
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Struct(name, parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct(name, count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct(name),
+            other => panic!("serde shim derive: unsupported struct body {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Enum(name, parse_variants(g.stream()))
+            }
+            other => panic!("serde shim derive: unsupported enum body {other:?}"),
+        },
+        other => panic!("serde shim derive: unsupported item kind {other}"),
+    }
+}
+
+/// Advances past outer attributes (`#[...]`) and visibility (`pub`,
+/// `pub(...)`).
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => *i += 2, // '#' + [..] group
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Splits a brace-group token stream into top-level comma segments,
+/// treating `<...>` type arguments as nesting (a `,` inside them is not a
+/// separator). Groups `()[]{}` are single atomic tokens here.
+fn split_top_level_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut segments = vec![Vec::new()];
+    let mut angle_depth = 0i32;
+    for t in stream {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' && angle_depth > 0 => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                segments.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        segments.last_mut().expect("non-empty").push(t);
+    }
+    segments.retain(|s| !s.is_empty());
+    segments
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level_commas(stream)
+        .into_iter()
+        .map(|seg| {
+            let mut i = 0;
+            skip_attrs_and_vis(&seg, &mut i);
+            match &seg[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("serde shim derive: expected field name, found {other}"),
+            }
+        })
+        .collect()
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level_commas(stream).len()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, VariantShape)> {
+    split_top_level_commas(stream)
+        .into_iter()
+        .map(|seg| {
+            let mut i = 0;
+            skip_attrs_and_vis(&seg, &mut i);
+            let name = match &seg[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("serde shim derive: expected variant name, found {other}"),
+            };
+            i += 1;
+            let shape = match seg.get(i) {
+                None => VariantShape::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantShape::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantShape::Struct(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                    panic!("serde shim derive: explicit discriminants are not supported")
+                }
+                other => panic!("serde shim derive: unsupported variant body {other:?}"),
+            };
+            (name, shape)
+        })
+        .collect()
+}

@@ -105,7 +105,7 @@ mod tests {
         for i in 0..=20 {
             let t = i as f64 / 20.0;
             let v = s.at(t);
-            assert!(v >= 0.1 - 1e-9 && v <= 0.43 + 1e-9);
+            assert!((0.1 - 1e-9..=0.43 + 1e-9).contains(&v));
             assert!(v >= last);
             last = v;
         }

@@ -185,7 +185,7 @@ pub struct Histogram {
 impl Histogram {
     /// Creates a linear-bin histogram over `[lo, hi)` with `bins` bins.
     pub fn linear(lo: f64, hi: f64, bins: usize) -> Result<Histogram, String> {
-        if !(lo < hi) || bins == 0 {
+        if lo.partial_cmp(&hi) != Some(std::cmp::Ordering::Less) || bins == 0 {
             return Err(format!("invalid histogram [{lo}, {hi}) x{bins}"));
         }
         Ok(Histogram { lo, hi, log10: false, counts: vec![0; bins], underflow: 0, overflow: 0 })
@@ -193,7 +193,7 @@ impl Histogram {
 
     /// Creates a log10-bin histogram over `[lo, hi)`; bounds must be > 0.
     pub fn log(lo: f64, hi: f64, bins: usize) -> Result<Histogram, String> {
-        if !(lo < hi) || lo <= 0.0 || bins == 0 {
+        if lo.partial_cmp(&hi) != Some(std::cmp::Ordering::Less) || lo <= 0.0 || bins == 0 {
             return Err(format!("invalid log histogram [{lo}, {hi}) x{bins}"));
         }
         Ok(Histogram {

@@ -173,7 +173,7 @@ impl Zipf {
         if n == 0 {
             return Err("zipf needs at least one rank".into());
         }
-        if !(s >= 0.0) || !s.is_finite() {
+        if s < 0.0 || !s.is_finite() {
             return Err(format!("invalid zipf exponent s={s}"));
         }
         let mut cumulative = Vec::with_capacity(n);
@@ -362,7 +362,7 @@ mod tests {
     fn zipf_uniform_when_s_zero() {
         let d = Zipf::new(4, 0.0).unwrap();
         let mut rng = Rng::seed_from(7);
-        let mut counts = vec![0u32; 4];
+        let mut counts = [0u32; 4];
         for _ in 0..40_000 {
             counts[d.sample(&mut rng)] += 1;
         }
@@ -375,7 +375,7 @@ mod tests {
     fn discrete_matches_weights() {
         let d = Discrete::new(&[1.0, 3.0, 0.0, 6.0]).unwrap();
         let mut rng = Rng::seed_from(8);
-        let mut counts = vec![0u32; 4];
+        let mut counts = [0u32; 4];
         for _ in 0..100_000 {
             counts[d.sample(&mut rng)] += 1;
         }

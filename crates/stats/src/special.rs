@@ -8,6 +8,7 @@
 /// Natural log of the gamma function (Lanczos approximation, g=7, n=9).
 pub fn ln_gamma(x: f64) -> f64 {
     assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
+    #[allow(clippy::excessive_precision)] // canonical Lanczos g=7 coefficients
     const COEFFS: [f64; 9] = [
         0.999_999_999_999_809_93,
         676.520_368_121_885_1,

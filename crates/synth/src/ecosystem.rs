@@ -73,13 +73,17 @@ pub struct Dataset {
 impl Dataset {
     /// Generates the full dataset.
     pub fn generate(config: EcosystemConfig) -> Dataset {
+        let _total = vmp_obs::span("synth.generate");
+        vmp_obs::counter("synth.datasets_generated").inc();
         let master = Rng::seed_from(config.seed);
 
         // Population.
+        let population_span = vmp_obs::span("synth.population");
         let mut pop_rng = master.fork(1);
         let mut profiles: Vec<PublisherProfile> = (0..config.publishers)
             .map(|i| PublisherProfile::generate(PublisherId::new(i as u32), &mut pop_rng))
             .collect();
+        vmp_obs::counter("synth.publishers_generated").add(profiles.len() as u64);
 
         // The N largest publishers are the DASH drivers (§4.1) and the
         // "3 largest" excluded in Fig 2(c)/6(b).
@@ -96,9 +100,13 @@ impl Dataset {
             profiles[*idx].force_all_platforms();
         }
 
+        drop(population_span);
+
         // Syndication graph.
+        let graph_span = vmp_obs::span("synth.syndication_graph");
         let mut graph_rng = master.fork(2);
         let graph = SyndicationGraph::generate(&profiles, &mut graph_rng);
+        drop(graph_span);
 
         // Snapshots to generate.
         let stride = config.snapshot_stride.max(1);
@@ -110,6 +118,7 @@ impl Dataset {
 
         // Fan out across snapshots; each worker gets an independent forked
         // RNG, so the result is independent of scheduling.
+        let view_span = vmp_obs::span("synth.view_generation");
         let threads = config.threads.max(1);
         let mut per_snapshot: Vec<Vec<SampledView>> = Vec::with_capacity(snapshots.len());
         {
@@ -127,6 +136,7 @@ impl Dataset {
                     handles.push(scope.spawn(move |_| {
                         let mut out = Vec::new();
                         for snapshot in chunk {
+                            let _snap_span = vmp_obs::span("synth.snapshot");
                             let mut views = Vec::new();
                             for (pi, profile) in profiles.iter().enumerate() {
                                 let mut rng = master
@@ -162,7 +172,11 @@ impl Dataset {
             }
         }
 
+        drop(view_span);
+
         let views: Vec<SampledView> = per_snapshot.into_iter().flatten().collect();
+        vmp_obs::counter("synth.views_sampled").add(views.len() as u64);
+        vmp_obs::counter("synth.snapshots_generated").add(snapshots.len() as u64);
         Dataset { config, profiles, graph, views, snapshots }
     }
 

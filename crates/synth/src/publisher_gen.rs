@@ -202,8 +202,8 @@ impl PublisherProfile {
 
     /// Puts the publisher on the big-publisher platform-adoption path:
     /// browser/mobile from day one, set-tops early, smart TVs and consoles
-    /// by mid-study — so the paper's all-5 cohort (≈30% of publishers,
-    /// >60% of view-hours) contains the giants by the last snapshot while
+    /// by mid-study — so the paper's all-5 cohort (≈30% of publishers, over
+    /// 60% of view-hours) contains the giants by the last snapshot while
     /// the weighted platform average still grows ≈37% over the window.
     pub fn force_all_platforms(&mut self) {
         self.platform_u = [0.05, 0.05, 0.08, 0.32, 0.44];

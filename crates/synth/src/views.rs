@@ -318,7 +318,7 @@ fn sample_sdk_version(plane: &SnapshotPlane, rng: &mut Rng) -> SdkVersion {
     let major = 4 + (plane.snapshot.index() / 8) as u16;
     let lag = rng.below(plane.sdk_window as u64) as u16;
     let effective = major.saturating_sub(lag).max(1);
-    SdkVersion::new(effective, (effective % 3) as u16)
+    SdkVersion::new(effective, effective % 3)
 }
 
 fn abr_for_device(device: DeviceModel) -> Box<dyn AbrAlgorithm> {

@@ -68,7 +68,7 @@ fn main() {
         .iter()
         .filter(|(_, (fails, total))| *fails > 0 && *total > 0)
         .collect();
-    flagged.sort_by(|a, b| b.1 .0.cmp(&a.1 .0));
+    flagged.sort_by_key(|(_, (fails, _))| std::cmp::Reverse(*fails));
     for ((cdn, proto, device), (fails, total)) in flagged.iter().take(5) {
         println!("  {cdn} × {proto} × {device}: {fails}/{total} views failing");
     }
