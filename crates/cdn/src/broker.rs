@@ -6,12 +6,21 @@
 //! The broker here supports weighted selection (the default management-plane
 //! behaviour) and QoE-aware selection driven by exponentially-decayed
 //! per-CDN performance scores, plus mid-stream failover.
+//!
+//! The *fault isolation* half of §2's broker description is the health
+//! gate: per-CDN [`CircuitBreaker`]s fed by fetch successes/failures.
+//! A CDN that fails `failure_threshold` consecutive fetches is quarantined
+//! — [`Broker::select_at`] and [`Broker::failover_at`] skip it — and
+//! half-opens after a cooldown on the virtual clock, admitting probe
+//! traffic again.
 
 use crate::strategy::CdnStrategy;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use vmp_core::cdn::CdnName;
 use vmp_core::content::ContentClass;
+use vmp_core::units::Seconds;
+use vmp_faults::{BreakerConfig, CircuitBreaker};
 use vmp_stats::{Discrete, Distribution, Rng};
 
 /// Broker selection policy.
@@ -36,6 +45,9 @@ struct Score {
 pub struct Broker {
     policy: BrokerPolicy,
     scores: Mutex<HashMap<CdnName, Score>>,
+    /// Per-CDN circuit breakers (the §2 fault-isolation service).
+    breakers: Mutex<HashMap<CdnName, CircuitBreaker>>,
+    breaker_config: BreakerConfig,
     /// EWMA decay for score updates.
     alpha: f64,
     /// Exploration probability under [`BrokerPolicy::QoeAware`].
@@ -43,19 +55,30 @@ pub struct Broker {
     obs_selections: vmp_obs::Counter,
     obs_failovers: vmp_obs::Counter,
     obs_reports: vmp_obs::Counter,
+    obs_circuit_trips: vmp_obs::Counter,
+    obs_quarantine_skips: vmp_obs::Counter,
 }
 
 impl Broker {
-    /// Creates a broker.
+    /// Creates a broker with the default circuit-breaker tuning.
     pub fn new(policy: BrokerPolicy) -> Broker {
+        Broker::with_breaker(policy, BreakerConfig::default())
+    }
+
+    /// Creates a broker with explicit circuit-breaker tuning.
+    pub fn with_breaker(policy: BrokerPolicy, breaker_config: BreakerConfig) -> Broker {
         Broker {
             policy,
             scores: Mutex::new(HashMap::new()),
+            breakers: Mutex::new(HashMap::new()),
+            breaker_config,
             alpha: 0.2,
             epsilon: 0.1,
             obs_selections: vmp_obs::counter("cdn.broker_selections"),
             obs_failovers: vmp_obs::counter("cdn.broker_failovers"),
             obs_reports: vmp_obs::counter("cdn.broker_qoe_reports"),
+            obs_circuit_trips: vmp_obs::counter("cdn.circuit_trips"),
+            obs_quarantine_skips: vmp_obs::counter("cdn.quarantine_skips"),
         }
     }
 
@@ -64,17 +87,46 @@ impl Broker {
         self.policy
     }
 
-    /// Selects the CDN for a new view of `class` content under `strategy`.
-    /// Returns `None` when the strategy has no CDN admitting the class.
+    /// Selects the CDN for a new view of `class` content under `strategy`,
+    /// ignoring breaker state (virtual time zero). Equivalent to
+    /// [`Broker::select_at`] before any failure has been recorded.
     pub fn select(
         &self,
         strategy: &CdnStrategy,
         class: ContentClass,
         rng: &mut Rng,
     ) -> Option<CdnName> {
-        let eligible = strategy.eligible(class);
+        self.select_at(strategy, class, Seconds::ZERO, rng)
+    }
+
+    /// Selects the CDN for a new view at virtual time `now`, skipping
+    /// quarantined CDNs (open circuit breakers). When *every* eligible CDN
+    /// is quarantined the gate stands aside and the full eligible set is
+    /// used — serving degraded traffic beats serving nothing.
+    /// Returns `None` when the strategy has no CDN admitting the class.
+    pub fn select_at(
+        &self,
+        strategy: &CdnStrategy,
+        class: ContentClass,
+        now: Seconds,
+        rng: &mut Rng,
+    ) -> Option<CdnName> {
+        let mut eligible = strategy.eligible(class);
         if eligible.is_empty() {
             return None;
+        }
+        let healthy: Vec<_> = eligible
+            .iter()
+            .copied()
+            .filter(|a| !self.quarantined(a.cdn, now))
+            .collect();
+        if healthy.is_empty() {
+            self.obs_quarantine_skips.inc();
+        } else {
+            if healthy.len() < eligible.len() {
+                self.obs_quarantine_skips.inc();
+            }
+            eligible = healthy;
         }
         self.obs_selections.inc();
         match self.policy {
@@ -101,13 +153,38 @@ impl Broker {
         }
     }
 
-    /// Picks a different CDN after a mid-stream failure on `failed`.
-    /// Returns `None` when no alternative exists.
+    /// Picks a different CDN after a mid-stream failure on `failed`,
+    /// ignoring breaker state (virtual time zero). See
+    /// [`Broker::failover_at`] for the contract.
     pub fn failover(
         &self,
         strategy: &CdnStrategy,
         class: ContentClass,
         failed: CdnName,
+        rng: &mut Rng,
+    ) -> Option<CdnName> {
+        self.failover_at(strategy, class, failed, Seconds::ZERO, rng)
+    }
+
+    /// Picks a different CDN after a mid-stream failure on `failed` at
+    /// virtual time `now`, preferring non-quarantined alternatives (falling
+    /// back to quarantined ones when every alternative's breaker is open).
+    ///
+    /// # Contract
+    ///
+    /// Returns `None` **if and only if** the strategy has no eligible CDN
+    /// other than `failed` — i.e. a single-CDN strategy (or one whose only
+    /// other CDNs don't admit `class`). `None` means the view has nowhere
+    /// left to go: callers **must** treat it as a fatal, session-ending
+    /// condition and record the view with
+    /// `ExitCause::FatalCdnFailure` (§4 counts such views), not silently
+    /// keep fetching from the failed CDN.
+    pub fn failover_at(
+        &self,
+        strategy: &CdnStrategy,
+        class: ContentClass,
+        failed: CdnName,
+        now: Seconds,
         rng: &mut Rng,
     ) -> Option<CdnName> {
         let alternatives: Vec<_> = strategy
@@ -116,11 +193,57 @@ impl Broker {
             .filter(|a| a.cdn != failed)
             .collect();
         if alternatives.is_empty() {
-            None
-        } else {
-            self.obs_failovers.inc();
-            Some(rng.choose(&alternatives).cdn)
+            return None;
         }
+        let healthy: Vec<_> = alternatives
+            .iter()
+            .copied()
+            .filter(|a| !self.quarantined(a.cdn, now))
+            .collect();
+        self.obs_failovers.inc();
+        let pool = if healthy.is_empty() { &alternatives } else { &healthy };
+        Some(rng.choose(pool).cdn)
+    }
+
+    /// Records a fetch failure against `cdn` at virtual time `now`,
+    /// feeding its circuit breaker. Emits a `CircuitOpen` event and bumps
+    /// `cdn.circuit_trips` when this failure trips the breaker.
+    pub fn record_fetch_failure(&self, cdn: CdnName, now: Seconds) {
+        let mut breakers = self.breakers.lock();
+        let breaker = breakers
+            .entry(cdn)
+            .or_insert_with(|| CircuitBreaker::new(self.breaker_config));
+        if breaker.record_failure(now) {
+            self.obs_circuit_trips.inc();
+            vmp_obs::event(
+                vmp_obs::EventKind::CircuitOpen,
+                format!("{cdn:?} quarantined at t={:.0}s until t={:.0}s", now.0, breaker.open_until().0),
+            );
+        }
+    }
+
+    /// Records a successful fetch from `cdn`: resets its failure streak and
+    /// closes a half-open breaker.
+    pub fn record_fetch_success(&self, cdn: CdnName) {
+        if let Some(b) = self.breakers.lock().get_mut(&cdn) {
+            b.record_success();
+        }
+    }
+
+    /// Whether `cdn` is currently quarantined (breaker open) at `now`.
+    /// Advances `Open → HalfOpen` transitions as a side effect, so a query
+    /// after the cooldown admits probe traffic.
+    pub fn quarantined(&self, cdn: CdnName, now: Seconds) -> bool {
+        self.breakers
+            .lock()
+            .get_mut(&cdn)
+            .map(|b| !b.allows(now))
+            .unwrap_or(false)
+    }
+
+    /// Total circuit-breaker trips across all CDNs.
+    pub fn circuit_trips(&self) -> u64 {
+        self.breakers.lock().values().map(|b| b.trips()).sum()
     }
 
     /// Reports an observed per-view QoE score for a CDN (e.g. average
@@ -232,6 +355,60 @@ mod tests {
             assert_eq!(broker.select(&s, ContentClass::Vod, &mut rng), Some(CdnName::A));
             assert_eq!(broker.select(&s, ContentClass::Live, &mut rng), Some(CdnName::B));
         }
+    }
+
+    #[test]
+    fn circuit_breaker_quarantines_after_consecutive_failures() {
+        let broker = Broker::new(BrokerPolicy::Weighted);
+        let s = strategy();
+        let mut rng = Rng::seed_from(21);
+        for t in 0..3 {
+            broker.record_fetch_failure(CdnName::A, Seconds(t as f64));
+        }
+        assert!(broker.quarantined(CdnName::A, Seconds(10.0)));
+        assert_eq!(broker.circuit_trips(), 1);
+        // Selection avoids the quarantined CDN entirely.
+        for _ in 0..200 {
+            assert_eq!(
+                broker.select_at(&s, ContentClass::Vod, Seconds(10.0), &mut rng),
+                Some(CdnName::B)
+            );
+        }
+        // Failover from B has nowhere healthy to go but A; it still serves.
+        assert_eq!(
+            broker.failover_at(&s, ContentClass::Vod, CdnName::B, Seconds(10.0), &mut rng),
+            Some(CdnName::A)
+        );
+    }
+
+    #[test]
+    fn breaker_half_opens_after_cooldown_and_closes_on_success() {
+        let broker = Broker::with_breaker(
+            BrokerPolicy::Weighted,
+            vmp_faults::BreakerConfig { failure_threshold: 2, cooldown: Seconds(30.0) },
+        );
+        broker.record_fetch_failure(CdnName::C, Seconds(0.0));
+        broker.record_fetch_failure(CdnName::C, Seconds(1.0));
+        assert!(broker.quarantined(CdnName::C, Seconds(5.0)));
+        // Cooldown elapsed: probe traffic admitted, success closes.
+        assert!(!broker.quarantined(CdnName::C, Seconds(40.0)));
+        broker.record_fetch_success(CdnName::C);
+        assert!(!broker.quarantined(CdnName::C, Seconds(41.0)));
+        // A fresh streak is needed to trip again.
+        broker.record_fetch_failure(CdnName::C, Seconds(42.0));
+        assert!(!broker.quarantined(CdnName::C, Seconds(43.0)));
+    }
+
+    #[test]
+    fn success_resets_failure_streak() {
+        let broker = Broker::new(BrokerPolicy::Weighted);
+        for t in 0..2 {
+            broker.record_fetch_failure(CdnName::B, Seconds(t as f64));
+        }
+        broker.record_fetch_success(CdnName::B);
+        broker.record_fetch_failure(CdnName::B, Seconds(3.0));
+        assert!(!broker.quarantined(CdnName::B, Seconds(4.0)));
+        assert_eq!(broker.circuit_trips(), 0);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! Popularity-skewed catalogues therefore get realistic hit ratios without
 //! any hand-tuned "cache hit probability" constant.
 
+use crate::error::FetchError;
 use std::collections::HashMap;
 use vmp_core::units::Bytes;
 
@@ -123,6 +124,14 @@ impl EdgeCache {
         }
     }
 
+    /// Drops every cached object (an injected edge-cache flush: node
+    /// restart, config push, cache poisoning remediation). Hit/miss
+    /// counters are preserved; subsequent fetches miss until refilled.
+    pub fn flush(&mut self) {
+        self.entries.clear();
+        self.used = Bytes::ZERO;
+    }
+
     /// Number of cached objects.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -146,11 +155,30 @@ impl EdgeCluster {
         EdgeCluster { edges: (0..n).map(|_| EdgeCache::new(capacity)).collect() }
     }
 
-    /// Fetches from the edge serving `region_index` (modulo the cluster).
-    pub fn fetch(&mut self, region_index: usize, key: u64, size: Bytes) -> CacheOutcome {
+    /// Fetches from the edge serving `region_index`.
+    ///
+    /// A region index outside the cluster is a caller bug and returns
+    /// [`FetchError::RegionOutOfRange`] — it is never silently wrapped
+    /// modulo the cluster size, which used to mask routing-table mistakes.
+    pub fn fetch(
+        &mut self,
+        region_index: usize,
+        key: u64,
+        size: Bytes,
+    ) -> Result<CacheOutcome, FetchError> {
         let n = self.edges.len();
-        assert!(n > 0, "empty edge cluster");
-        self.edges[region_index % n].fetch(key, size)
+        if region_index >= n {
+            return Err(FetchError::RegionOutOfRange { region: region_index, edges: n });
+        }
+        Ok(self.edges[region_index].fetch(key, size))
+    }
+
+    /// Flushes every edge in the cluster (an injected CDN-wide cache
+    /// flush).
+    pub fn flush_all(&mut self) {
+        for e in &mut self.edges {
+            e.flush();
+        }
     }
 
     /// Aggregate hit ratio across edges.
@@ -238,12 +266,38 @@ mod tests {
     #[test]
     fn cluster_routes_by_region() {
         let mut cl = EdgeCluster::new(3, Bytes(100));
-        cl.fetch(0, 1, Bytes(10));
+        cl.fetch(0, 1, Bytes(10)).unwrap();
         // Same key, different region → different edge → miss.
-        assert_eq!(cl.fetch(1, 1, Bytes(10)), CacheOutcome::Miss);
+        assert_eq!(cl.fetch(1, 1, Bytes(10)), Ok(CacheOutcome::Miss));
         // Same region → hit.
-        assert_eq!(cl.fetch(0, 1, Bytes(10)), CacheOutcome::Hit);
+        assert_eq!(cl.fetch(0, 1, Bytes(10)), Ok(CacheOutcome::Hit));
         assert_eq!(cl.len(), 3);
         assert!(cl.hit_ratio() > 0.0);
+    }
+
+    #[test]
+    fn out_of_range_region_is_a_typed_error() {
+        let mut cl = EdgeCluster::new(3, Bytes(100));
+        assert_eq!(
+            cl.fetch(3, 1, Bytes(10)),
+            Err(FetchError::RegionOutOfRange { region: 3, edges: 3 })
+        );
+        // An empty cluster rejects every region instead of panicking.
+        let mut empty = EdgeCluster::new(0, Bytes(100));
+        assert_eq!(
+            empty.fetch(0, 1, Bytes(10)),
+            Err(FetchError::RegionOutOfRange { region: 0, edges: 0 })
+        );
+    }
+
+    #[test]
+    fn flush_forces_misses_but_keeps_stats() {
+        let mut cl = EdgeCluster::new(2, Bytes(100));
+        cl.fetch(0, 1, Bytes(10)).unwrap();
+        assert_eq!(cl.fetch(0, 1, Bytes(10)), Ok(CacheOutcome::Hit));
+        cl.flush_all();
+        assert_eq!(cl.fetch(0, 1, Bytes(10)), Ok(CacheOutcome::Miss));
+        // 1 hit, 2 misses survive the flush.
+        assert!((cl.hit_ratio() - 1.0 / 3.0).abs() < 1e-12);
     }
 }

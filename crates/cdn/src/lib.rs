@@ -18,18 +18,23 @@
 //!   19% a live-only CDN), with weights.
 //! * [`broker`] — per-view CDN selection: weighted, or QoE-aware using
 //!   decayed per-CDN performance scores (the Conviva-style service §2
-//!   describes).
+//!   describes), with per-CDN circuit breakers providing §2's fault
+//!   isolation.
+//! * [`error`] — typed delivery failures ([`FetchError`]) surfaced during
+//!   injected faults instead of the old always-succeeds behaviour.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod broker;
 pub mod edge;
+pub mod error;
 pub mod origin;
 pub mod routing;
 pub mod strategy;
 
 pub use broker::{Broker, BrokerPolicy};
 pub use edge::{CacheOutcome, EdgeCache, EdgeCluster};
+pub use error::FetchError;
 pub use origin::{ContentKey, OriginEntry, OriginStore};
 pub use strategy::CdnStrategy;

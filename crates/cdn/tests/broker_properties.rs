@@ -1,0 +1,65 @@
+//! Property tests for the broker's circuit-breaker health gate: a CDN
+//! whose breaker is open must never be selected — by initial selection or
+//! by failover — while its quarantine lasts, for arbitrary breaker
+//! configurations and RNG seeds.
+
+use proptest::prelude::*;
+use vmp_cdn::broker::{Broker, BrokerPolicy};
+use vmp_cdn::strategy::{CdnAssignment, CdnScope, CdnStrategy};
+use vmp_core::cdn::CdnName;
+use vmp_core::content::ContentClass;
+use vmp_core::units::Seconds;
+use vmp_faults::BreakerConfig;
+use vmp_stats::Rng;
+
+fn three_way_strategy() -> CdnStrategy {
+    CdnStrategy::new(vec![
+        CdnAssignment { cdn: CdnName::A, weight: 1.0, scope: CdnScope::All },
+        CdnAssignment { cdn: CdnName::B, weight: 1.0, scope: CdnScope::All },
+        CdnAssignment { cdn: CdnName::C, weight: 1.0, scope: CdnScope::All },
+    ])
+    .expect("valid strategy")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn quarantined_cdn_is_never_selected_while_open(
+        seed in 0u64..100_000,
+        threshold in 1u32..5,
+        cooldown in 10.0f64..1000.0,
+        draws in 1usize..40,
+    ) {
+        let strategy = three_way_strategy();
+        let broker = Broker::with_breaker(
+            BrokerPolicy::Weighted,
+            BreakerConfig { failure_threshold: threshold, cooldown: Seconds(cooldown) },
+        );
+        for _ in 0..threshold {
+            broker.record_fetch_failure(CdnName::A, Seconds::ZERO);
+        }
+        prop_assert!(broker.quarantined(CdnName::A, Seconds::ZERO));
+
+        let mut rng = Rng::seed_from(seed);
+        for i in 0..draws {
+            // Probe times strictly inside the quarantine window.
+            let t = Seconds(cooldown * 0.99 * (i as f64 / draws as f64));
+            let picked = broker.select_at(&strategy, ContentClass::Vod, t, &mut rng);
+            prop_assert!(picked.is_some());
+            prop_assert_ne!(picked, Some(CdnName::A), "selected a quarantined CDN at t={}", t.0);
+
+            let failover = broker.failover_at(&strategy, ContentClass::Vod, CdnName::B, t, &mut rng);
+            prop_assert!(failover.is_some());
+            prop_assert_ne!(
+                failover,
+                Some(CdnName::A),
+                "failed over onto a quarantined CDN at t={}", t.0
+            );
+        }
+
+        // After the cooldown the breaker half-opens and A is eligible
+        // again: probing traffic must be able to reach it eventually.
+        prop_assert!(!broker.quarantined(CdnName::A, Seconds(cooldown + 1.0)));
+    }
+}

@@ -2,15 +2,19 @@
 //!
 //! Usage:
 //! ```text
-//! repro [--quick] [--seed N] [--json PATH] [--metrics PATH] [ID ...]
+//! repro [--quick] [--seed N] [--experiment ID] [--json PATH] [--metrics PATH] [ID ...]
 //! ```
 //! With no IDs, runs everything in paper order. `--quick` uses the reduced
 //! ecosystem (CI-sized); the default is the full EXPERIMENTS.md run.
-//! `--seed N` overrides the ecosystem master seed; `--metrics PATH` dumps a
-//! JSON snapshot of the observability registry (counters, histograms with
-//! p50/p90/p99, recent pipeline events) after the run.
+//! `--seed N` overrides the master seed; `--experiment ID` is equivalent to
+//! a bare ID; `--metrics PATH` dumps a JSON snapshot of the observability
+//! registry (counters, histograms with p50/p90/p99, recent pipeline events)
+//! after the run. When every requested ID is standalone (ablations and
+//! scenarios such as `resilience`), the ecosystem is not generated at all.
 
-use vmp_experiments::{run, ReproContext, Scale, ABLATIONS, ALL_EXPERIMENTS};
+use vmp_experiments::{
+    is_standalone, run, run_standalone, ReproContext, Scale, ABLATIONS, ALL_EXPERIMENTS, SCENARIOS,
+};
 
 fn main() {
     let mut scale = Scale::Full;
@@ -23,6 +27,13 @@ fn main() {
         match arg.as_str() {
             "--quick" => scale = Scale::Quick,
             "--ablations" => ids.extend(ABLATIONS.iter().map(|s| s.to_string())),
+            "--experiment" => match args.next() {
+                Some(id) => ids.push(id),
+                None => {
+                    eprintln!("--experiment requires an ID");
+                    std::process::exit(2);
+                }
+            },
             "--json" => {
                 json_path = args.next();
                 if json_path.is_none() {
@@ -48,10 +59,11 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: repro [--quick] [--seed N] [--ablations] [--json PATH] [--metrics PATH] [ID ...]"
+                    "usage: repro [--quick] [--seed N] [--experiment ID] [--ablations] [--json PATH] [--metrics PATH] [ID ...]"
                 );
                 eprintln!("experiments: {}", ALL_EXPERIMENTS.join(" "));
                 eprintln!("ablations:   {}", ABLATIONS.join(" "));
+                eprintln!("scenarios:   {}", SCENARIOS.join(" "));
                 return;
             }
             other => ids.push(other.to_string()),
@@ -61,38 +73,58 @@ fn main() {
         ids = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
     }
     for id in &ids {
-        if !ALL_EXPERIMENTS.contains(&id.as_str()) && !ABLATIONS.contains(&id.as_str()) {
+        if !ALL_EXPERIMENTS.contains(&id.as_str())
+            && !ABLATIONS.contains(&id.as_str())
+            && !SCENARIOS.contains(&id.as_str())
+        {
             eprintln!(
-                "unknown experiment '{id}'; known: {} {}",
+                "unknown experiment '{id}'; known: {} {} {}",
                 ALL_EXPERIMENTS.join(" "),
-                ABLATIONS.join(" ")
+                ABLATIONS.join(" "),
+                SCENARIOS.join(" ")
             );
             std::process::exit(2);
         }
     }
 
-    eprintln!(
-        "generating ecosystem ({}), running {} experiment(s)...",
-        match scale {
-            Scale::Full => "full",
-            Scale::Quick => "quick",
-        },
-        ids.len()
-    );
     let started = std::time::Instant::now();
-    let ctx = ReproContext::with_seed(scale, seed);
-    eprintln!(
-        "ecosystem ready: {} publishers, {} weighted view samples, {} snapshots ({:.1}s)",
-        ctx.dataset.profiles.len(),
-        ctx.dataset.views.len(),
-        ctx.dataset.snapshots.len(),
-        started.elapsed().as_secs_f64()
-    );
+    // Standalone experiments (ablations, fault-injection scenarios) only
+    // need a seed; skip the expensive ecosystem generation when no
+    // requested ID uses it.
+    let needs_ctx = ids.iter().any(|id| !is_standalone(id));
+    let master_seed =
+        seed.unwrap_or_else(|| vmp_synth::ecosystem::EcosystemConfig::default().seed);
+    let ctx = if needs_ctx {
+        eprintln!(
+            "generating ecosystem ({}), running {} experiment(s)...",
+            match scale {
+                Scale::Full => "full",
+                Scale::Quick => "quick",
+            },
+            ids.len()
+        );
+        let ctx = ReproContext::with_seed(scale, seed);
+        eprintln!(
+            "ecosystem ready: {} publishers, {} weighted view samples, {} snapshots ({:.1}s)",
+            ctx.dataset.profiles.len(),
+            ctx.dataset.views.len(),
+            ctx.dataset.snapshots.len(),
+            started.elapsed().as_secs_f64()
+        );
+        Some(ctx)
+    } else {
+        eprintln!("running {} standalone experiment(s) (no ecosystem needed)...", ids.len());
+        None
+    };
 
     let mut results = Vec::new();
     let mut failures = 0usize;
     for id in &ids {
-        let result = run(id, &ctx).expect("id validated above");
+        let result = match &ctx {
+            Some(ctx) => run(id, ctx),
+            None => run_standalone(id, master_seed),
+        }
+        .expect("id validated above");
         println!("{result}");
         failures += result.failures().len();
         results.push(result);

@@ -2,6 +2,7 @@
 
 pub mod ablations;
 pub mod helpers;
+pub mod resilience;
 
 pub mod fig02;
 pub mod fig03;

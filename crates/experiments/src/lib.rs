@@ -30,12 +30,33 @@ pub const ALL_EXPERIMENTS: [&str; 19] = [
 /// by ID).
 pub const ABLATIONS: [&str; 4] = ["abl-abr", "abl-dedup", "abl-broker", "abl-live"];
 
+/// Scenario experiments: dedicated simulations (fault injection,
+/// resilience) that need only a seed, not the generated ecosystem.
+pub const SCENARIOS: [&str; 1] = ["resilience"];
+
+/// Whether an experiment can run without the generated ecosystem (`repro`
+/// skips the expensive dataset build when every requested ID is
+/// standalone).
+pub fn is_standalone(id: &str) -> bool {
+    ABLATIONS.contains(&id) || SCENARIOS.contains(&id)
+}
+
 /// Runs one experiment by ID, stamping wall time and the per-stage latency
 /// breakdown (from global-registry histogram deltas) onto the result.
 pub fn run(id: &str, ctx: &ReproContext) -> Option<ExperimentResult> {
+    timed(|| dispatch(id, ctx))
+}
+
+/// Runs a standalone (ecosystem-free) experiment by ID with the given
+/// master seed. Returns `None` for unknown or ecosystem-bound IDs.
+pub fn run_standalone(id: &str, seed: u64) -> Option<ExperimentResult> {
+    timed(|| dispatch_standalone(id, seed))
+}
+
+fn timed(f: impl FnOnce() -> Option<ExperimentResult>) -> Option<ExperimentResult> {
     let before = vmp_obs::snapshot();
     let started = std::time::Instant::now();
-    let mut result = dispatch(id, ctx)?;
+    let mut result = f()?;
     result.wall_time_secs = started.elapsed().as_secs_f64();
     result.stages = stage_breakdown(&before, &vmp_obs::snapshot());
     Some(result)
@@ -60,7 +81,21 @@ fn stage_breakdown(
         .collect()
 }
 
+fn dispatch_standalone(id: &str, seed: u64) -> Option<ExperimentResult> {
+    match id {
+        "abl-abr" => Some(figures::ablations::run_abr()),
+        "abl-dedup" => Some(figures::ablations::run_dedup()),
+        "abl-broker" => Some(figures::ablations::run_broker()),
+        "abl-live" => Some(figures::ablations::run_live_latency()),
+        "resilience" => Some(figures::resilience::run(seed)),
+        _ => None,
+    }
+}
+
 fn dispatch(id: &str, ctx: &ReproContext) -> Option<ExperimentResult> {
+    if is_standalone(id) {
+        return dispatch_standalone(id, ctx.dataset.config.seed);
+    }
     match id {
         "tab1" => Some(figures::tab1::run()),
         "fig02" => Some(figures::fig02::run(ctx)),
@@ -81,10 +116,6 @@ fn dispatch(id: &str, ctx: &ReproContext) -> Option<ExperimentResult> {
         "fig17" => Some(figures::fig17::run()),
         "fig18" => Some(figures::fig18::run(ctx)),
         "summary" => Some(figures::summary::run(ctx)),
-        "abl-abr" => Some(figures::ablations::run_abr()),
-        "abl-dedup" => Some(figures::ablations::run_dedup()),
-        "abl-broker" => Some(figures::ablations::run_broker()),
-        "abl-live" => Some(figures::ablations::run_live_latency()),
         _ => None,
     }
 }

@@ -1,0 +1,97 @@
+//! Property tests for the fault-injection primitives: the backoff schedule
+//! and the circuit breaker must hold their invariants for *arbitrary*
+//! valid policies, not just the calibrated defaults.
+
+use proptest::prelude::*;
+use vmp_core::units::Seconds;
+use vmp_faults::{BreakerConfig, BreakerState, CircuitBreaker, RetryPolicy};
+use vmp_stats::Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For every valid policy: the jittered backoff schedule is
+    /// non-decreasing, every delay lies in `[base, max]`, and replaying
+    /// the same seed reproduces the schedule byte-for-byte.
+    #[test]
+    fn backoff_schedule_is_monotone_bounded_and_replayable(
+        seed in 0u64..1_000_000,
+        base in 0.05f64..5.0,
+        factor in 1.1f64..4.0,
+        jitter_frac in 0.0f64..0.99,
+        max_mult in 1.0f64..50.0,
+        retries in 1u32..12,
+    ) {
+        let policy = RetryPolicy {
+            max_retries: retries,
+            base_backoff: Seconds(base),
+            backoff_factor: factor,
+            max_backoff: Seconds(base * max_mult),
+            // The monotonicity bound is jitter < factor - 1; sample the
+            // whole valid range.
+            jitter: jitter_frac * (factor - 1.0),
+            timeout: Seconds::ZERO,
+        };
+        prop_assert!(policy.validate().is_ok());
+
+        let schedule = policy.schedule(&mut Rng::seed_from(seed));
+        prop_assert_eq!(schedule.len(), retries as usize);
+        for pair in schedule.windows(2) {
+            prop_assert!(
+                pair[1].0 >= pair[0].0,
+                "schedule must be non-decreasing: {:?}", schedule
+            );
+        }
+        for delay in &schedule {
+            prop_assert!(
+                delay.0 >= policy.base_backoff.0 && delay.0 <= policy.max_backoff.0,
+                "delay {} outside [{}, {}]",
+                delay.0, policy.base_backoff.0, policy.max_backoff.0
+            );
+        }
+
+        let replay = policy.schedule(&mut Rng::seed_from(seed));
+        prop_assert_eq!(&schedule, &replay, "same seed must replay the same schedule");
+    }
+
+    /// A breaker tripped by `threshold` consecutive failures refuses all
+    /// traffic strictly before its cooldown elapses, then half-opens for
+    /// exactly one probe window.
+    #[test]
+    fn tripped_breaker_refuses_traffic_until_cooldown(
+        threshold in 1u32..6,
+        cooldown in 1.0f64..500.0,
+        probe_frac in 0.0f64..0.999,
+    ) {
+        let config = BreakerConfig { failure_threshold: threshold, cooldown: Seconds(cooldown) };
+        let mut breaker = CircuitBreaker::new(config);
+        let mut tripped = false;
+        for _ in 0..threshold {
+            prop_assert!(!tripped, "breaker tripped before the threshold");
+            tripped = breaker.record_failure(Seconds::ZERO);
+        }
+        prop_assert!(tripped, "threshold failures must trip the breaker");
+        prop_assert_eq!(breaker.state(), BreakerState::Open);
+        prop_assert_eq!(breaker.trips(), 1);
+
+        // Any probe strictly inside the cooldown is refused and leaves
+        // the breaker open.
+        let probe = Seconds(cooldown * probe_frac);
+        prop_assert!(probe.0 < breaker.open_until().0);
+        prop_assert!(!breaker.allows(probe));
+        prop_assert_eq!(breaker.state(), BreakerState::Open);
+
+        // Once the cooldown elapses the breaker half-opens; a successful
+        // probe closes it, a failed probe re-trips immediately.
+        prop_assert!(breaker.allows(Seconds(cooldown)));
+        prop_assert_eq!(breaker.state(), BreakerState::HalfOpen);
+        if probe_frac < 0.5 {
+            breaker.record_success();
+            prop_assert_eq!(breaker.state(), BreakerState::Closed);
+        } else {
+            prop_assert!(breaker.record_failure(Seconds(cooldown)));
+            prop_assert_eq!(breaker.state(), BreakerState::Open);
+            prop_assert_eq!(breaker.trips(), 2);
+        }
+    }
+}

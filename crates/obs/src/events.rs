@@ -19,6 +19,14 @@ pub enum EventKind {
     CacheMiss,
     /// A manifest failed validation or parsing.
     ManifestParseError,
+    /// An injected fault window became active.
+    FaultStart,
+    /// An injected fault window ended.
+    FaultStop,
+    /// A circuit breaker quarantined a CDN.
+    CircuitOpen,
+    /// A session exited fatally (retry and failover budgets exhausted).
+    SessionFatal,
     /// Anything else; the detail string carries the specifics.
     Other,
 }
@@ -32,6 +40,10 @@ impl EventKind {
             EventKind::CdnSwitch => "cdn_switch",
             EventKind::CacheMiss => "cache_miss",
             EventKind::ManifestParseError => "manifest_parse_error",
+            EventKind::FaultStart => "fault_start",
+            EventKind::FaultStop => "fault_stop",
+            EventKind::CircuitOpen => "circuit_open",
+            EventKind::SessionFatal => "session_fatal",
             EventKind::Other => "other",
         }
     }

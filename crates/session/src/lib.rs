@@ -17,5 +17,8 @@
 pub mod player;
 pub mod telemetry;
 
-pub use player::{MultiCdnContext, PlaybackConfig, Player, SessionOutcome};
+pub use player::{
+    infrastructure_fn, ChunkRequest, ChunkServe, ExitCause, MultiCdnContext, PlaybackConfig,
+    Player, SessionOutcome,
+};
 pub use telemetry::{ClientContext, TelemetryBuilder};

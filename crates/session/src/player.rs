@@ -1,18 +1,37 @@
 //! The discrete-event playback loop.
+//!
+//! Fault awareness: every chunk fetch can now fail with a typed
+//! [`FetchError`] (outage, origin error burst, timeout). The player reacts
+//! the way a production client library does — bounded retries with
+//! exponential backoff and deterministic jitter, graceful degradation to the
+//! lowest ladder rung while retrying, escalation to broker failover once the
+//! retry budget is exhausted, and a clean fatal exit
+//! ([`ExitCause::FatalCdnFailure`]) when no alternative CDN exists. All
+//! randomness comes from the session RNG, so identical seeds replay
+//! identical incidents, and with the default [`RetryPolicy`] (timeouts
+//! disabled) a fault-free session consumes exactly the same RNG stream as
+//! before this machinery existed.
 
 use vmp_abr::algorithm::{AbrAlgorithm, AbrState};
 use vmp_abr::network::NetworkModel;
 use vmp_abr::predict::{HarmonicMeanPredictor, ThroughputPredictor};
 use vmp_cdn::broker::Broker;
 use vmp_cdn::edge::{CacheOutcome, EdgeCluster};
+use vmp_cdn::error::FetchError;
 use vmp_cdn::routing::Router;
 use vmp_cdn::strategy::CdnStrategy;
 use vmp_core::cdn::CdnName;
 use vmp_core::content::ContentClass;
 use vmp_core::ladder::BitrateLadder;
 use vmp_core::qoe::QoeSummary;
-use vmp_core::units::{Kbps, Seconds};
+use vmp_core::units::{Bytes, Kbps, Seconds};
+use vmp_faults::{FaultInjector, RetryPolicy};
 use vmp_stats::Rng;
+
+/// Hard cap on mid-session failovers; prevents two broken CDNs from
+/// ping-ponging a session forever. Hitting the cap converts the next
+/// exhausted retry budget into a fatal exit.
+const MAX_FAILOVERS: u32 = 8;
 
 /// Static configuration of one playback session.
 #[derive(Debug, Clone)]
@@ -33,6 +52,14 @@ pub struct PlaybackConfig {
     /// Live or VoD (live views cannot buffer ahead beyond the live edge;
     /// modeled via a tight `max_buffer`).
     pub class: ContentClass,
+    /// Where on the shared fault timeline this session starts. Sessions in
+    /// a cohort get staggered offsets so an incident hits them mid-stream,
+    /// at startup, or not at all.
+    pub start_offset: Seconds,
+    /// Retry/backoff/timeout policy for failed chunk fetches. The default
+    /// disables timeouts, so fault-free simulations behave exactly as they
+    /// did before fault injection existed.
+    pub retry: RetryPolicy,
 }
 
 impl PlaybackConfig {
@@ -46,6 +73,8 @@ impl PlaybackConfig {
             startup_buffer: Seconds(6.0),
             max_buffer: Seconds(60.0),
             class: ContentClass::Vod,
+            start_offset: Seconds::ZERO,
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -59,6 +88,8 @@ impl PlaybackConfig {
             startup_buffer: Seconds(4.0),
             max_buffer: Seconds(12.0),
             class: ContentClass::Live,
+            start_offset: Seconds::ZERO,
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -72,8 +103,25 @@ impl PlaybackConfig {
         if self.max_buffer.0 < self.chunk_duration.0 {
             return Err("max buffer must hold at least one chunk".into());
         }
-        Ok(())
+        if self.start_offset.0 < 0.0 {
+            return Err("start offset must be non-negative".into());
+        }
+        self.retry.validate()
     }
+}
+
+/// One chunk (or manifest) fetch as the CDN substrate sees it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChunkRequest {
+    /// The CDN being asked.
+    pub cdn: CdnName,
+    /// Opaque chunk key (content + bitrate addressed).
+    pub key: u64,
+    /// Requested bytes.
+    pub size: Bytes,
+    /// The session's fault clock at request time (virtual seconds on the
+    /// shared incident timeline, never wall time).
+    pub clock: Seconds,
 }
 
 /// Multi-CDN context: broker-driven selection and mid-stream failover.
@@ -82,10 +130,19 @@ pub struct MultiCdnContext<'a> {
     pub broker: &'a Broker,
     /// The publisher's CDN strategy.
     pub strategy: &'a CdnStrategy,
-    /// Per-chunk probability that the current CDN fails for this client.
+    /// Per-chunk probability that the current CDN fails for this client
+    /// (legacy client-perceived failure, independent of injected faults).
     pub failure_probability: f64,
+    /// Whether the client escalates to [`Broker::failover`] at all. Off
+    /// models a naive player that rides a broken CDN down.
+    pub failover_enabled: bool,
+    /// Whether fetch failures/successes feed the broker's circuit breakers
+    /// so selection routes around quarantined CDNs.
+    pub health_gate: bool,
+    /// The shared fault plan, if this cohort runs under injected faults.
+    pub faults: Option<&'a FaultInjector>,
     /// Per-CDN infrastructure: router and shared edge cluster.
-    pub infrastructure: &'a mut dyn FnMut(CdnName, u64, vmp_core::units::Bytes, &mut Rng) -> ChunkServe,
+    pub infrastructure: &'a mut dyn FnMut(&ChunkRequest, &mut Rng) -> Result<ChunkServe, FetchError>,
 }
 
 /// How the CDN served one chunk.
@@ -95,33 +152,78 @@ pub struct ChunkServe {
     pub cache: CacheOutcome,
     /// Whether an anycast route flap reset the connection.
     pub connection_reset: bool,
+    /// Multiplier on delivered throughput, `(0, 1]`; below 1 during an
+    /// injected degraded-throughput window.
+    pub throughput_factor: f64,
 }
 
 impl ChunkServe {
-    /// A plain edge hit with no reset.
+    /// A plain edge hit with no reset at full throughput.
     pub fn hit() -> ChunkServe {
-        ChunkServe { cache: CacheOutcome::Hit, connection_reset: false }
+        ChunkServe { cache: CacheOutcome::Hit, connection_reset: false, throughput_factor: 1.0 }
     }
 }
 
+/// Why the session ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExitCause {
+    /// The viewer watched everything they intended to.
+    Completed,
+    /// Retries and failover were exhausted with no serving CDN left —
+    /// including the single-CDN case where [`Broker::failover`] has no
+    /// alternative to offer and returns `None`.
+    FatalCdnFailure,
+}
+
 /// Builds a [`MultiCdnContext::infrastructure`] closure from per-CDN routers
-/// and edge clusters. Exposed so callers (synth, experiments) don't repeat
-/// the plumbing.
+/// and edge clusters, with optional fault injection. Exposed so callers
+/// (synth, experiments) don't repeat the plumbing.
+///
+/// Under faults, the closure checks (in order): scheduled outage, pending
+/// edge-cache flushes since the last request, anycast routing, the edge
+/// fetch itself, origin error bursts (only on a cache miss — a hit never
+/// touches the origin), and the degraded-throughput multiplier. Fault
+/// queries draw from the RNG only inside active probabilistic windows, so a
+/// `faults: None` closure consumes the same RNG stream as the pre-fault
+/// implementation.
 pub fn infrastructure_fn<'a>(
     routers: &'a std::collections::HashMap<CdnName, Router>,
     edges: &'a mut std::collections::HashMap<CdnName, EdgeCluster>,
     region_index: usize,
-) -> impl FnMut(CdnName, u64, vmp_core::units::Bytes, &mut Rng) -> ChunkServe + 'a {
-    move |cdn, chunk_key, size, rng| {
+    faults: Option<&'a FaultInjector>,
+) -> impl FnMut(&ChunkRequest, &mut Rng) -> Result<ChunkServe, FetchError> + 'a {
+    let mut last_flush: std::collections::HashMap<CdnName, Seconds> = std::collections::HashMap::new();
+    move |req, rng| {
+        let cdn = req.cdn;
+        if let Some(fi) = faults {
+            if fi.outage(cdn, req.clock) {
+                return Err(FetchError::Outage { cdn });
+            }
+            let since = last_flush.get(&cdn).copied().unwrap_or(Seconds::ZERO);
+            if fi.cache_flush_between(cdn, since, req.clock) {
+                if let Some(e) = edges.get_mut(&cdn) {
+                    e.flush_all();
+                }
+            }
+            last_flush.insert(cdn, req.clock);
+        }
         let reset = routers
             .get(&cdn)
-            .map(|r| r.route_chunk(chunk_key, rng).connection_reset)
+            .map(|r| r.route_chunk(req.key, rng).connection_reset)
             .unwrap_or(false);
-        let cache = edges
-            .get_mut(&cdn)
-            .map(|e| e.fetch(region_index, chunk_key ^ (cdn.dense_index() as u64) << 56, size))
-            .unwrap_or(CacheOutcome::Hit);
-        ChunkServe { cache, connection_reset: reset }
+        let cache = match edges.get_mut(&cdn) {
+            Some(e) => e.fetch(region_index, req.key ^ (cdn.dense_index() as u64) << 56, req.size)?,
+            None => CacheOutcome::Hit,
+        };
+        if cache == CacheOutcome::Miss {
+            if let Some(fi) = faults {
+                if fi.origin_error(cdn, req.clock, rng) {
+                    return Err(FetchError::OriginUnavailable { cdn });
+                }
+            }
+        }
+        let throughput_factor = faults.map(|fi| fi.throughput_factor(cdn, req.clock)).unwrap_or(1.0);
+        Ok(ChunkServe { cache, connection_reset: reset, throughput_factor })
     }
 }
 
@@ -137,6 +239,12 @@ pub struct SessionOutcome {
     /// Media actually downloaded (= played, since users leave at
     /// `intended_watch`).
     pub downloaded: Seconds,
+    /// Why the session ended.
+    pub exit: ExitCause,
+    /// Failed fetch attempts that were retried (or escalated).
+    pub retries: u32,
+    /// How many of those failures were chunk timeouts.
+    pub timeouts: u32,
 }
 
 /// Cached handles into the global metrics registry, resolved once per
@@ -149,6 +257,10 @@ struct SessionMetrics {
     bitrate_switches: vmp_obs::Counter,
     cdn_switches: vmp_obs::Counter,
     startup_delay_us: vmp_obs::Histogram,
+    retries: vmp_obs::Counter,
+    timeouts: vmp_obs::Counter,
+    manifest_retries: vmp_obs::Counter,
+    fatal_exits: vmp_obs::Counter,
 }
 
 impl SessionMetrics {
@@ -161,8 +273,21 @@ impl SessionMetrics {
             bitrate_switches: vmp_obs::counter("session.bitrate_switches"),
             cdn_switches: vmp_obs::counter("session.cdn_switches"),
             startup_delay_us: vmp_obs::histogram("session.startup_delay_us"),
+            retries: vmp_obs::counter("session.retries"),
+            timeouts: vmp_obs::counter("session.timeouts"),
+            manifest_retries: vmp_obs::counter("session.manifest_retries"),
+            fatal_exits: vmp_obs::counter("session.fatal_exits"),
         }
     }
+}
+
+/// Failover wiring threaded through [`Player::run`].
+struct FailoverCtx<'a> {
+    broker: &'a Broker,
+    strategy: &'a CdnStrategy,
+    p_fail: f64,
+    enabled: bool,
+    health_gate: bool,
 }
 
 /// The player: owns the per-session mutable state.
@@ -186,28 +311,59 @@ impl<'a> Player<'a> {
 
     /// Plays a single-CDN session with ideal (always-hit) edges.
     pub fn play(&mut self, cdn: CdnName, rng: &mut Rng) -> SessionOutcome {
-        let mut serve = |_c: CdnName, _k: u64, _s: vmp_core::units::Bytes, _r: &mut Rng| ChunkServe::hit();
-        self.run(cdn, None, &mut serve, rng)
+        self.play_with(cdn, None, rng)
+    }
+
+    /// Plays a single-CDN session with ideal edges under an optional fault
+    /// plan. With no failover available, an outage that outlasts the retry
+    /// budget ends the session with [`ExitCause::FatalCdnFailure`].
+    pub fn play_with(
+        &mut self,
+        cdn: CdnName,
+        faults: Option<&FaultInjector>,
+        rng: &mut Rng,
+    ) -> SessionOutcome {
+        let mut serve = move |req: &ChunkRequest, _r: &mut Rng| {
+            if let Some(fi) = faults {
+                if fi.outage(req.cdn, req.clock) {
+                    return Err(FetchError::Outage { cdn: req.cdn });
+                }
+                let mut served = ChunkServe::hit();
+                served.throughput_factor = fi.throughput_factor(req.cdn, req.clock);
+                return Ok(served);
+            }
+            Ok(ChunkServe::hit())
+        };
+        self.run(cdn, None, faults, &mut serve, rng)
     }
 
     /// Plays a session against real CDN infrastructure, with optional
     /// broker-driven failover.
     pub fn play_multi_cdn(&mut self, ctx: &mut MultiCdnContext<'_>, rng: &mut Rng) -> SessionOutcome {
-        let initial = ctx
-            .broker
-            .select(ctx.strategy, self.config.class, rng)
-            .unwrap_or_else(|| ctx.strategy.cdns()[0]);
-        let failover = Some((ctx.broker, ctx.strategy, ctx.failure_probability));
+        let initial = if ctx.health_gate {
+            ctx.broker.select_at(ctx.strategy, self.config.class, self.config.start_offset, rng)
+        } else {
+            ctx.broker.select(ctx.strategy, self.config.class, rng)
+        }
+        .unwrap_or_else(|| ctx.strategy.cdns()[0]);
+        let failover = FailoverCtx {
+            broker: ctx.broker,
+            strategy: ctx.strategy,
+            p_fail: ctx.failure_probability,
+            enabled: ctx.failover_enabled,
+            health_gate: ctx.health_gate,
+        };
         // Split borrows: the closure is separate from the broker references.
         let serve = &mut *ctx.infrastructure;
-        self.run(initial, failover, serve, rng)
+        self.run(initial, Some(failover), ctx.faults, serve, rng)
     }
 
     fn run(
         &mut self,
         initial_cdn: CdnName,
-        failover: Option<(&Broker, &CdnStrategy, f64)>,
-        serve: &mut dyn FnMut(CdnName, u64, vmp_core::units::Bytes, &mut Rng) -> ChunkServe,
+        failover: Option<FailoverCtx<'_>>,
+        faults: Option<&FaultInjector>,
+        serve: &mut dyn FnMut(&ChunkRequest, &mut Rng) -> Result<ChunkServe, FetchError>,
         rng: &mut Rng,
     ) -> SessionOutcome {
         let cfg = &self.config;
@@ -228,13 +384,74 @@ impl<'a> Player<'a> {
         let mut cdn_switches = 0u32;
         let mut last_bitrate = Kbps::ZERO;
         let mut chunk_index = 0u64;
+        let mut clock = cfg.start_offset;
+        let mut retries = 0u32;
+        let mut timeouts = 0u32;
+        let mut failovers = 0u32;
+        let mut exit = ExitCause::Completed;
 
-        while downloaded.0 + 1e-9 < target.0 {
+        // Manifest fetch: under faults the manifest itself can fail; retry
+        // with backoff, then fail over, then give up fatally.
+        if let Some(fi) = faults {
+            let mut attempt = 0u32;
+            while fi.manifest_failure(cdn, clock, rng) {
+                retries += 1;
+                self.metrics.manifest_retries.inc();
+                if let Some(fo) = &failover {
+                    if fo.health_gate {
+                        fo.broker.record_fetch_failure(cdn, clock);
+                    }
+                }
+                if attempt < cfg.retry.max_retries {
+                    let wait = cfg.retry.backoff(attempt, rng);
+                    clock += wait;
+                    startup_delay += wait;
+                    attempt += 1;
+                    continue;
+                }
+                let mut switched = false;
+                if let Some(fo) = &failover {
+                    if fo.enabled && failovers < MAX_FAILOVERS {
+                        if let Some(next) =
+                            fo.broker.failover_at(fo.strategy, cfg.class, cdn, clock, rng)
+                        {
+                            failovers += 1;
+                            cdn = next;
+                            if !cdns.contains(&cdn) {
+                                cdns.push(cdn);
+                            }
+                            cdn_switches += 1;
+                            self.metrics.cdn_switches.inc();
+                            vmp_obs::event(
+                                vmp_obs::EventKind::CdnSwitch,
+                                format!("manifest: failover to {next:?} after fetch failures"),
+                            );
+                            attempt = 0;
+                            switched = true;
+                        }
+                    }
+                }
+                if !switched {
+                    exit = ExitCause::FatalCdnFailure;
+                    self.metrics.fatal_exits.inc();
+                    vmp_obs::event(
+                        vmp_obs::EventKind::SessionFatal,
+                        format!("manifest unavailable on {cdn:?}, no failover left"),
+                    );
+                    break;
+                }
+            }
+        }
+
+        while exit == ExitCause::Completed && downloaded.0 + 1e-9 < target.0 {
             let this_chunk = Seconds(cfg.chunk_duration.0.min(target.0 - downloaded.0));
-            // CDN failure / failover check.
-            if let Some((broker, strategy, p_fail)) = failover {
-                if rng.chance(p_fail) {
-                    if let Some(next) = broker.failover(strategy, cfg.class, cdn, rng) {
+            // Legacy client-perceived CDN failure check. The chance() draw
+            // happens unconditionally so RNG streams don't depend on the
+            // failover_enabled flag.
+            if let Some(fo) = &failover {
+                if rng.chance(fo.p_fail) && fo.enabled {
+                    if let Some(next) = fo.broker.failover_at(fo.strategy, cfg.class, cdn, clock, rng)
+                    {
                         cdn = next;
                         if !cdns.contains(&cdn) {
                             cdns.push(cdn);
@@ -256,39 +473,135 @@ impl<'a> Player<'a> {
                 last_bitrate,
                 chunk_duration: cfg.chunk_duration,
             };
-            let bitrate = self.abr.choose(&cfg.ladder, &state);
+            let chosen = self.abr.choose(&cfg.ladder, &state);
+
+            // Download, with bounded retries. Retries degrade to the lowest
+            // rung: while a CDN is misbehaving the client fights for liveness,
+            // not quality.
+            let mut attempt = 0u32;
+            let mut chunk_wait = Seconds::ZERO;
+            let outcome = loop {
+                let bitrate = if attempt == 0 { chosen } else { cfg.ladder.min().bitrate };
+                let size = bitrate.bytes_for(this_chunk);
+                let throughput = self.network.next_throughput(rng);
+                let rtt = self.network.rtt(rng);
+                let req = ChunkRequest { cdn, key: chunk_index ^ (bitrate.0 as u64) << 40, size, clock };
+                let failure = match serve(&req, rng) {
+                    Err(e) => e,
+                    Ok(served) => {
+                        let mut latency = rtt.0;
+                        if served.cache == CacheOutcome::Miss {
+                            latency += 3.0 * rtt.0; // origin fetch behind the edge
+                        }
+                        if served.connection_reset {
+                            latency += 2.0 * rtt.0; // TCP reconnect after a route flap
+                        }
+                        let factor = served.throughput_factor.max(0.01);
+                        let transfer =
+                            size.0 as f64 * 8.0 / (throughput.bits_per_sec() as f64 * factor);
+                        let download_time = Seconds(transfer + latency);
+                        if cfg.retry.timeouts_enabled() && download_time.0 > cfg.retry.timeout.0 {
+                            timeouts += 1;
+                            self.metrics.timeouts.inc();
+                            // The client waited out the whole timeout.
+                            chunk_wait += cfg.retry.timeout;
+                            clock += cfg.retry.timeout;
+                            FetchError::Timeout { cdn }
+                        } else {
+                            break Ok((bitrate, size, download_time, throughput));
+                        }
+                    }
+                };
+                retries += 1;
+                self.metrics.retries.inc();
+                if let Some(fo) = &failover {
+                    if fo.health_gate {
+                        fo.broker.record_fetch_failure(cdn, clock);
+                    }
+                }
+                if attempt < cfg.retry.max_retries {
+                    let wait = cfg.retry.backoff(attempt, rng);
+                    chunk_wait += wait;
+                    clock += wait;
+                    attempt += 1;
+                    continue;
+                }
+                // Retry budget exhausted: escalate to broker failover.
+                let mut switched = false;
+                if let Some(fo) = &failover {
+                    if fo.enabled && failovers < MAX_FAILOVERS {
+                        if let Some(next) =
+                            fo.broker.failover_at(fo.strategy, cfg.class, cdn, clock, rng)
+                        {
+                            failovers += 1;
+                            cdn = next;
+                            if !cdns.contains(&cdn) {
+                                cdns.push(cdn);
+                            }
+                            cdn_switches += 1;
+                            self.metrics.cdn_switches.inc();
+                            vmp_obs::event(
+                                vmp_obs::EventKind::CdnSwitch,
+                                format!(
+                                    "chunk {chunk_index}: failover to {next:?} after {}",
+                                    failure.label()
+                                ),
+                            );
+                            predictor.reset();
+                            attempt = 0;
+                            switched = true;
+                        }
+                    }
+                }
+                if !switched {
+                    break Err(failure);
+                }
+            };
+
+            let (bitrate, size, download_time, throughput) = match outcome {
+                Ok(success) => success,
+                Err(e) => {
+                    // No CDN can serve this chunk: fatal exit. The time spent
+                    // failing still counts against QoE.
+                    exit = ExitCause::FatalCdnFailure;
+                    self.metrics.fatal_exits.inc();
+                    vmp_obs::event(
+                        vmp_obs::EventKind::SessionFatal,
+                        format!("chunk {chunk_index}: {} with no failover left", e.label()),
+                    );
+                    if started {
+                        rebuffer += chunk_wait;
+                    } else {
+                        startup_delay += chunk_wait;
+                    }
+                    break;
+                }
+            };
+            if let Some(fo) = &failover {
+                if fo.health_gate {
+                    fo.broker.record_fetch_success(cdn);
+                }
+            }
             if last_bitrate != Kbps::ZERO && bitrate != last_bitrate {
                 switches += 1;
                 self.metrics.bitrate_switches.inc();
             }
-
-            // Download.
-            let size = bitrate.bytes_for(this_chunk);
-            let throughput = self.network.next_throughput(rng);
-            let rtt = self.network.rtt(rng);
-            let served = serve(cdn, chunk_index ^ (bitrate.0 as u64) << 40, size, rng);
-            let mut latency = rtt.0;
-            if served.cache == CacheOutcome::Miss {
-                latency += 3.0 * rtt.0; // origin fetch behind the edge
-            }
-            if served.connection_reset {
-                latency += 2.0 * rtt.0; // TCP reconnect after a route flap
-            }
-            let transfer = size.0 as f64 * 8.0 / (throughput.bits_per_sec() as f64);
-            let download_time = Seconds(transfer + latency);
             self.metrics.chunks_fetched.inc();
             // Simulated (virtual-clock) download time, in microseconds.
             self.metrics.chunk_download_us.record((download_time.0 * 1e6) as u64);
+            clock += download_time;
 
-            // Buffer dynamics.
+            // Buffer dynamics. Retry waits stall playback exactly like slow
+            // downloads do.
+            let elapsed = Seconds(download_time.0 + chunk_wait.0);
             if !started {
-                startup_delay += download_time;
+                startup_delay += elapsed;
                 buffer += this_chunk;
                 if buffer.0 >= cfg.startup_buffer.0.min(target.0) {
                     started = true;
                 }
             } else {
-                let after_drain = buffer.0 - download_time.0;
+                let after_drain = buffer.0 - elapsed.0;
                 if after_drain < 0.0 {
                     rebuffer += Seconds(-after_drain);
                     buffer = Seconds::ZERO;
@@ -307,7 +620,9 @@ impl<'a> Player<'a> {
                 buffer += this_chunk;
                 if buffer.0 > cfg.max_buffer.0 {
                     // Pace: the player idles while the buffer drains to the
-                    // cap. No stall — media plays during the wait.
+                    // cap. No stall — media plays during the wait, and the
+                    // fault clock advances with it.
+                    clock += Seconds(buffer.0 - cfg.max_buffer.0);
                     buffer = cfg.max_buffer;
                 }
             }
@@ -345,6 +660,9 @@ impl<'a> Player<'a> {
             bitrates_used,
             cdns,
             downloaded,
+            exit,
+            retries,
+            timeouts,
         }
     }
 }
@@ -354,7 +672,10 @@ mod tests {
     use super::*;
     use vmp_abr::algorithm::{Bba, ThroughputRule};
     use vmp_abr::network::NetworkProfile;
+    use vmp_cdn::broker::BrokerPolicy;
+    use vmp_cdn::strategy::{CdnAssignment, CdnScope};
     use vmp_core::geo::ConnectionType;
+    use vmp_faults::FaultProfile;
 
     fn ladder() -> BitrateLadder {
         BitrateLadder::from_bitrates(&[400, 800, 1600, 3200, 6400]).unwrap()
@@ -362,6 +683,14 @@ mod tests {
 
     fn network(quality: f64) -> NetworkModel {
         NetworkModel::new(NetworkProfile::for_connection(ConnectionType::Wifi, quality))
+    }
+
+    fn two_cdn_strategy() -> CdnStrategy {
+        CdnStrategy::new(vec![
+            CdnAssignment { cdn: CdnName::A, weight: 1.0, scope: CdnScope::All },
+            CdnAssignment { cdn: CdnName::B, weight: 1.0, scope: CdnScope::All },
+        ])
+        .unwrap()
     }
 
     fn play_once(quality: f64, seed: u64) -> SessionOutcome {
@@ -378,6 +707,8 @@ mod tests {
         assert!((out.downloaded.0 - 600.0).abs() < 1e-6);
         assert!((out.qoe.played.0 - 600.0).abs() < 1e-6);
         assert_eq!(out.cdns, vec![CdnName::A]);
+        assert_eq!(out.exit, ExitCause::Completed);
+        assert_eq!(out.retries, 0);
     }
 
     #[test]
@@ -452,26 +783,26 @@ mod tests {
         let mut cfg = PlaybackConfig::vod(ladder(), Seconds(100.0), Seconds(50.0));
         cfg.max_buffer = Seconds(1.0);
         assert!(Player::new(cfg, network(1.0), &ThroughputRule::default()).is_err());
+        let mut cfg = PlaybackConfig::vod(ladder(), Seconds(100.0), Seconds(50.0));
+        cfg.retry.jitter = 5.0; // >= backoff_factor - 1 breaks monotonicity
+        assert!(Player::new(cfg, network(1.0), &ThroughputRule::default()).is_err());
     }
 
     #[test]
     fn multi_cdn_failover_switches_cdns() {
-        use vmp_cdn::broker::BrokerPolicy;
-        use vmp_cdn::strategy::{CdnAssignment, CdnScope};
-        let strategy = CdnStrategy::new(vec![
-            CdnAssignment { cdn: CdnName::A, weight: 1.0, scope: CdnScope::All },
-            CdnAssignment { cdn: CdnName::B, weight: 1.0, scope: CdnScope::All },
-        ])
-        .unwrap();
+        let strategy = two_cdn_strategy();
         let broker = Broker::new(BrokerPolicy::Weighted);
         let cfg = PlaybackConfig::vod(ladder(), Seconds(3600.0), Seconds(1800.0));
         let abr = ThroughputRule::default();
         let mut player = Player::new(cfg, network(1.0), &abr).unwrap();
-        let mut infra = |_c: CdnName, _k: u64, _s: vmp_core::units::Bytes, _r: &mut Rng| ChunkServe::hit();
+        let mut infra = |_req: &ChunkRequest, _r: &mut Rng| Ok(ChunkServe::hit());
         let mut ctx = MultiCdnContext {
             broker: &broker,
             strategy: &strategy,
             failure_probability: 0.05,
+            failover_enabled: true,
+            health_gate: false,
+            faults: None,
             infrastructure: &mut infra,
         };
         let mut rng = Rng::seed_from(11);
@@ -486,17 +817,157 @@ mod tests {
         let abr = ThroughputRule::default();
         // All-miss CDN.
         let mut player = Player::new(cfg.clone(), network(1.0), &abr).unwrap();
-        let mut all_miss = |_c: CdnName, _k: u64, _s: vmp_core::units::Bytes, _r: &mut Rng| ChunkServe {
-            cache: CacheOutcome::Miss,
-            connection_reset: false,
+        let mut all_miss = |_req: &ChunkRequest, _r: &mut Rng| {
+            Ok(ChunkServe { cache: CacheOutcome::Miss, connection_reset: false, throughput_factor: 1.0 })
         };
         let mut rng = Rng::seed_from(9);
-        let miss_out = player.run(CdnName::A, None, &mut all_miss, &mut rng);
+        let miss_out = player.run(CdnName::A, None, None, &mut all_miss, &mut rng);
         // All-hit CDN, same seed.
         let mut player = Player::new(cfg, network(1.0), &abr).unwrap();
-        let mut all_hit = |_c: CdnName, _k: u64, _s: vmp_core::units::Bytes, _r: &mut Rng| ChunkServe::hit();
+        let mut all_hit = |_req: &ChunkRequest, _r: &mut Rng| Ok(ChunkServe::hit());
         let mut rng = Rng::seed_from(9);
-        let hit_out = player.run(CdnName::A, None, &mut all_hit, &mut rng);
+        let hit_out = player.run(CdnName::A, None, None, &mut all_hit, &mut rng);
         assert!(miss_out.qoe.startup_delay.0 > hit_out.qoe.startup_delay.0);
+    }
+
+    #[test]
+    fn empty_fault_plan_matches_plain_play() {
+        let profile = FaultProfile::builder().build();
+        let injector = FaultInjector::new(profile);
+        let cfg = PlaybackConfig::vod(ladder(), Seconds(1200.0), Seconds(600.0));
+        let abr = ThroughputRule::default();
+        let mut player = Player::new(cfg.clone(), network(1.0), &abr).unwrap();
+        let mut rng = Rng::seed_from(21);
+        let with_faults = player.play_with(CdnName::A, Some(&injector), &mut rng);
+        let mut player = Player::new(cfg, network(1.0), &abr).unwrap();
+        let mut rng = Rng::seed_from(21);
+        let plain = player.play(CdnName::A, &mut rng);
+        assert_eq!(with_faults, plain);
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_fails_over_to_healthy_cdn() {
+        let strategy = two_cdn_strategy();
+        let broker = Broker::new(BrokerPolicy::Weighted);
+        let mut cfg = PlaybackConfig::vod(ladder(), Seconds(600.0), Seconds(300.0));
+        cfg.retry = vmp_faults::RetryPolicy::resilient();
+        let abr = ThroughputRule::default();
+        let mut player = Player::new(cfg, network(1.0), &abr).unwrap();
+        // CDN A never serves; B always does.
+        let mut infra = |req: &ChunkRequest, _r: &mut Rng| {
+            if req.cdn == CdnName::A {
+                Err(FetchError::Outage { cdn: CdnName::A })
+            } else {
+                Ok(ChunkServe::hit())
+            }
+        };
+        let failover = FailoverCtx {
+            broker: &broker,
+            strategy: &strategy,
+            p_fail: 0.0,
+            enabled: true,
+            health_gate: true,
+        };
+        let mut rng = Rng::seed_from(13);
+        let out = player.run(CdnName::A, Some(failover), None, &mut infra, &mut rng);
+        assert_eq!(out.exit, ExitCause::Completed);
+        assert_eq!(out.cdns, vec![CdnName::A, CdnName::B]);
+        // max_retries + 1 attempts all failed on A before the one failover;
+        // any further retries are armed-timeout trips on B (slow top-rung
+        // chunks), each recovered by a degraded refetch.
+        assert_eq!(out.retries, 4 + out.timeouts);
+        assert_eq!(out.qoe.cdn_switches, 1);
+        // The consecutive failures tripped A's breaker.
+        assert!(broker.quarantined(CdnName::A, Seconds(1.0)));
+    }
+
+    #[test]
+    fn single_cdn_total_outage_is_fatal() {
+        let profile = FaultProfile::builder()
+            .outage(CdnName::A, Seconds::ZERO, Seconds(10_000.0))
+            .build();
+        let injector = FaultInjector::new(profile);
+        let mut cfg = PlaybackConfig::vod(ladder(), Seconds(600.0), Seconds(300.0));
+        cfg.retry = vmp_faults::RetryPolicy::resilient();
+        let abr = ThroughputRule::default();
+        let mut player = Player::new(cfg, network(1.0), &abr).unwrap();
+        let mut rng = Rng::seed_from(17);
+        let out = player.play_with(CdnName::A, Some(&injector), &mut rng);
+        assert_eq!(out.exit, ExitCause::FatalCdnFailure);
+        assert_eq!(out.downloaded, Seconds::ZERO);
+        assert!(out.retries >= 4);
+        assert_eq!(out.qoe.avg_bitrate, Kbps::ZERO);
+    }
+
+    #[test]
+    fn timeouts_trip_on_throttled_throughput() {
+        let mut cfg = PlaybackConfig::vod(ladder(), Seconds(600.0), Seconds(300.0));
+        cfg.retry = vmp_faults::RetryPolicy::resilient();
+        let abr = ThroughputRule::default();
+        let mut player = Player::new(cfg, network(1.0), &abr).unwrap();
+        // Deliver at 0.1% throughput: every fetch exceeds the 10s timeout.
+        let mut throttled = |_req: &ChunkRequest, _r: &mut Rng| {
+            Ok(ChunkServe { cache: CacheOutcome::Hit, connection_reset: false, throughput_factor: 0.001 })
+        };
+        let mut rng = Rng::seed_from(19);
+        let out = player.run(CdnName::A, None, None, &mut throttled, &mut rng);
+        assert_eq!(out.exit, ExitCause::FatalCdnFailure);
+        assert!(out.timeouts >= 4);
+        assert_eq!(out.timeouts, out.retries);
+    }
+
+    #[test]
+    fn degraded_window_slows_the_session() {
+        let degraded_profile = FaultProfile::builder()
+            .degrade(CdnName::A, Seconds::ZERO, Seconds(10_000.0), 0.05)
+            .build();
+        let injector = FaultInjector::new(degraded_profile);
+        let cfg = PlaybackConfig::vod(ladder(), Seconds(600.0), Seconds(300.0));
+        let abr = ThroughputRule::default();
+        let mut player = Player::new(cfg.clone(), network(1.0), &abr).unwrap();
+        let mut rng = Rng::seed_from(23);
+        let slow = player.play_with(CdnName::A, Some(&injector), &mut rng);
+        let mut player = Player::new(cfg, network(1.0), &abr).unwrap();
+        let mut rng = Rng::seed_from(23);
+        let fast = player.play(CdnName::A, &mut rng);
+        let slow_score = slow.qoe.avg_bitrate.0 as f64 * (1.0 - slow.qoe.rebuffer_ratio());
+        let fast_score = fast.qoe.avg_bitrate.0 as f64 * (1.0 - fast.qoe.rebuffer_ratio());
+        assert!(
+            slow_score < fast_score,
+            "degraded window should hurt QoE: {slow_score} vs {fast_score}"
+        );
+    }
+
+    #[test]
+    fn faulted_sessions_replay_byte_identically() {
+        let run_one = || {
+            let injector = FaultInjector::new(FaultProfile::cdn_brownout(CdnName::A));
+            let mut cfg = PlaybackConfig::vod(ladder(), Seconds(2400.0), Seconds(1800.0));
+            cfg.retry = vmp_faults::RetryPolicy::resilient();
+            cfg.start_offset = Seconds(250.0);
+            let abr = ThroughputRule::default();
+            let mut player = Player::new(cfg, network(1.0), &abr).unwrap();
+            let mut rng = Rng::seed_from(29);
+            player.play_with(CdnName::A, Some(&injector), &mut rng)
+        };
+        assert_eq!(run_one(), run_one());
+    }
+
+    #[test]
+    fn manifest_failure_window_delays_startup_or_kills_session() {
+        let profile = FaultProfile::builder()
+            .manifest_failures(CdnName::A, Seconds::ZERO, Seconds(10_000.0), 1.0)
+            .build();
+        let injector = FaultInjector::new(profile);
+        let mut cfg = PlaybackConfig::vod(ladder(), Seconds(600.0), Seconds(300.0));
+        cfg.retry = vmp_faults::RetryPolicy::resilient();
+        let abr = ThroughputRule::default();
+        let mut player = Player::new(cfg, network(1.0), &abr).unwrap();
+        let mut rng = Rng::seed_from(31);
+        // Single CDN, manifest always fails: fatal before the first chunk.
+        let out = player.play_with(CdnName::A, Some(&injector), &mut rng);
+        assert_eq!(out.exit, ExitCause::FatalCdnFailure);
+        assert_eq!(out.downloaded, Seconds::ZERO);
+        assert!(out.qoe.startup_delay.0 > 0.0, "backoff waits count as startup delay");
     }
 }

@@ -114,6 +114,9 @@ mod tests {
             bitrates_used: vec![Kbps(1600), Kbps(3200)],
             cdns: vec![CdnName::A, CdnName::C],
             downloaded: Seconds(1800.0),
+            exit: crate::player::ExitCause::Completed,
+            retries: 0,
+            timeouts: 0,
         }
     }
 

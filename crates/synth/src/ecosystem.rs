@@ -48,6 +48,7 @@ impl EcosystemConfig {
                 min_samples: 25,
                 max_samples: 400,
                 sim_media_cap: vmp_core::units::Seconds(12.0),
+                faults: None,
             },
             snapshot_stride: 6,
             threads: 4,

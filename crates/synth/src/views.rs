@@ -22,6 +22,7 @@ use vmp_core::sdk::SdkVersion;
 use vmp_core::time::SnapshotId;
 use vmp_core::units::Seconds;
 use vmp_core::view::{OwnershipFlag, SampledView};
+use vmp_faults::{FaultInjector, FaultProfile, RetryPolicy};
 use vmp_session::player::{PlaybackConfig, Player};
 use vmp_session::telemetry::{ClientContext, TelemetryBuilder};
 use vmp_stats::{Discrete, Distribution, LogNormal, Rng, Zipf};
@@ -40,11 +41,21 @@ pub struct ViewGenConfig {
     /// Cap on simulated media per session (QoE is measured on this prefix
     /// and extrapolated; the *recorded* viewing time is the full duration).
     pub sim_media_cap: Seconds,
+    /// Deterministic fault plan replayed under every cell, if any. Sessions
+    /// get staggered start offsets across the plan's horizon and run with
+    /// [`RetryPolicy::resilient`]; `None` reproduces the fault-free
+    /// generation byte for byte.
+    pub faults: Option<FaultProfile>,
 }
 
 impl Default for ViewGenConfig {
     fn default() -> Self {
-        ViewGenConfig { min_samples: 40, max_samples: 700, sim_media_cap: Seconds(36.0) }
+        ViewGenConfig {
+            min_samples: 40,
+            max_samples: 700,
+            sim_media_cap: Seconds(36.0),
+            faults: None,
+        }
     }
 }
 
@@ -69,6 +80,7 @@ pub fn generate_views(
         .unwrap_or_else(|_| Discrete::new(&[1.0]).expect("unit weight"));
     let title_dist = Zipf::new(plane.titles.min(5_000) as usize, 0.8).expect("titles >= 1");
     let broker = Broker::new(BrokerPolicy::Weighted);
+    let faults = cfg.faults.as_ref().map(|p| FaultInjector::new(p.clone()));
 
     let mut raw: Vec<(SampledView, f64)> = Vec::with_capacity(n);
     let mut total_hours = 0.0f64;
@@ -99,14 +111,21 @@ pub fn generate_views(
         );
         let sim_watch = Seconds(watch.0.min(cfg.sim_media_cap.0.max(6.0)));
         let content = Seconds(watch.0 * rng.range_f64(1.0, 2.5));
-        let playback = match class {
+        let mut playback = match class {
             ContentClass::Vod => PlaybackConfig::vod(plane.ladder.clone(), content, sim_watch),
             ContentClass::Live => PlaybackConfig::live(plane.ladder.clone(), content, sim_watch),
         };
+        if let Some(injector) = faults.as_ref() {
+            playback.retry = RetryPolicy::resilient();
+            // Stagger sessions across the plan's horizon so every incident
+            // catches some views at startup and others mid-stream.
+            playback.start_offset =
+                Seconds(injector.profile().horizon().0 * (i as f64 / n as f64));
+        }
         let abr = abr_for_device(device);
         let mut outcome = Player::new(playback, network, abr.as_ref())
             .expect("playback config is valid")
-            .play(cdn, rng);
+            .play_with(cdn, faults.as_ref(), rng);
         // Extrapolate the truncated QoE to the full view.
         if outcome.qoe.played.0 > 0.0 && watch.0 > outcome.qoe.played.0 {
             let scale = watch.0 / outcome.qoe.played.0;
@@ -352,7 +371,12 @@ mod tests {
     }
 
     fn small_cfg() -> ViewGenConfig {
-        ViewGenConfig { min_samples: 30, max_samples: 60, sim_media_cap: Seconds(12.0) }
+        ViewGenConfig {
+            min_samples: 30,
+            max_samples: 60,
+            sim_media_cap: Seconds(12.0),
+            faults: None,
+        }
     }
 
     #[test]
@@ -430,6 +454,41 @@ mod tests {
             let ratio = v.record.qoe.rebuffer_ratio();
             assert!((0.0..=1.0).contains(&ratio));
         }
+    }
+
+    #[test]
+    fn faulted_generation_is_deterministic_and_degrades_qoe() {
+        let (profile, plane, graph) = setup(11);
+        // Brown out the publisher's primary CDN across the whole horizon.
+        let victim = plane.strategy.cdns()[0];
+        let faulted = ViewGenConfig {
+            faults: Some(FaultProfile::cdn_brownout(victim)),
+            ..small_cfg()
+        };
+        let gen = |cfg: &ViewGenConfig, seed: u64| {
+            let mut rng = Rng::seed_from(seed);
+            generate_views(&profile, &plane, &graph, cfg, SnapshotId::LAST, 0, &mut rng)
+        };
+        let a = gen(&faulted, 12);
+        let b = gen(&faulted, 12);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.record, y.record);
+        }
+        let clean = gen(&small_cfg(), 12);
+        // Rebuffer ratios are not comparable across the arms (armed timeouts
+        // trade stalls for degraded bitrate, and fatal views barely play),
+        // but delivered bitrate must suffer: retries refetch at the lowest
+        // rung and outage-window views exit with nothing delivered.
+        let bitrate = |views: &[SampledView]| {
+            views.iter().map(|v| v.record.qoe.avg_bitrate.0 as f64).sum::<f64>()
+                / views.len() as f64
+        };
+        assert!(
+            bitrate(&a) < bitrate(&clean),
+            "brownout should cut delivered bitrate: {} vs {}",
+            bitrate(&a),
+            bitrate(&clean)
+        );
     }
 
     #[test]

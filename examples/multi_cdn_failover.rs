@@ -44,7 +44,10 @@ fn main() {
         .collect();
     let mut edges: HashMap<CdnName, EdgeCluster> = CdnName::MAJORS
         .iter()
-        .map(|c| (*c, EdgeCluster::new(2, Bytes(6_000_000_000))))
+        // Four edges: sessions spread over four regions below, and an edge
+        // cluster now rejects out-of-range regions instead of silently
+        // wrapping them.
+        .map(|c| (*c, EdgeCluster::new(4, Bytes(6_000_000_000))))
         .collect();
 
     // A QoE-aware broker learns per-CDN scores from completed views.
@@ -66,11 +69,14 @@ fn main() {
             Seconds::from_minutes(30.0),
         );
         let mut player = Player::new(config, network, &abr).expect("valid config");
-        let mut infra = infrastructure_fn(&routers, &mut edges, session % 4);
+        let mut infra = infrastructure_fn(&routers, &mut edges, session % 4, None);
         let mut ctx = MultiCdnContext {
             broker: &broker,
             strategy: &strategy,
             failure_probability: 0.002, // occasional mid-stream CDN trouble
+            failover_enabled: true,
+            health_gate: false,
+            faults: None,
             infrastructure: &mut infra,
         };
         let outcome = player.play_multi_cdn(&mut ctx, &mut rng);

@@ -4,7 +4,7 @@
 //! packaging through telemetry to analytics drifts, some figure's check
 //! breaks here.
 
-use vmp::experiments::{run, ReproContext, Scale, ABLATIONS, ALL_EXPERIMENTS};
+use vmp::experiments::{run, run_standalone, ReproContext, Scale, ABLATIONS, ALL_EXPERIMENTS, SCENARIOS};
 
 #[test]
 fn every_figure_and_table_reproduces() {
@@ -44,6 +44,19 @@ fn ablations_reproduce() {
             result.failures()
         );
     }
+}
+
+#[test]
+fn scenarios_reproduce_without_an_ecosystem() {
+    for id in SCENARIOS {
+        let result = run_standalone(id, 0x5EED_CAFE).expect("registered scenario");
+        assert!(
+            result.all_passed(),
+            "[{id}] failed checks: {:?}",
+            result.failures()
+        );
+    }
+    assert!(run_standalone("fig02", 1).is_none(), "ecosystem experiments need a context");
 }
 
 #[test]
