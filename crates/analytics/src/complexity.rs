@@ -14,7 +14,6 @@
 use std::collections::{BTreeMap, BTreeSet};
 use vmp_core::ids::PublisherId;
 use vmp_core::time::SnapshotId;
-use vmp_core::view::PlayerIdentity;
 use vmp_stats::regress::{ols_log_log, OlsFit};
 
 use crate::store::ViewStore;
@@ -66,38 +65,39 @@ pub fn complexity_points(
     measure: ComplexityMeasure,
     titles_of: &dyn Fn(PublisherId) -> u64,
 ) -> Vec<ComplexityPoint> {
+    // Pure column scan: the protocol column already carries the
+    // unclassified sentinel (`NO_CODE`, the old `u8::MAX` tag), device
+    // codes are bijective with model strings, CDN bit indexes with raw CDN
+    // ids, and player dictionary codes with the SDK-build / UA-family keys
+    // — so every distinct-set cardinality matches the string-keyed
+    // reference exactly.
     #[derive(Default)]
     struct Acc {
         vh: f64,
-        combos: BTreeSet<(u32, u8, String)>,
+        combos: BTreeSet<(u8, u8, u8)>,
         protocols: BTreeSet<u8>,
-        players: BTreeSet<String>,
+        players: BTreeSet<u32>,
     }
-    let mut acc: BTreeMap<PublisherId, Acc> = BTreeMap::new();
-    for v in store.at(snapshot) {
-        let entry = acc.entry(v.view.record.publisher).or_default();
-        entry.vh += v.hours();
-        let proto_tag = v.protocol.map(|p| p as u8).unwrap_or(u8::MAX);
-        entry.protocols.insert(proto_tag);
-        for cdn in &v.view.record.cdns {
-            entry.combos.insert((
-                cdn.raw(),
-                proto_tag,
-                v.view.record.device.model_string().to_string(),
-            ));
+    let Some(seg) = store.segment(snapshot) else {
+        return Vec::new();
+    };
+    let mut acc: BTreeMap<u32, Acc> = BTreeMap::new();
+    for i in 0..seg.len() {
+        let entry = acc.entry(seg.publishers()[i]).or_default();
+        entry.vh += seg.weighted_hours(i);
+        let proto = seg.protocols()[i];
+        entry.protocols.insert(proto);
+        let device = seg.devices()[i];
+        let mut bits = seg.cdn_masks()[i];
+        while bits != 0 {
+            entry.combos.insert((bits.trailing_zeros() as u8, proto, device));
+            bits &= bits - 1;
         }
-        let player_key = match &v.view.record.player {
-            PlayerIdentity::Sdk(build) => format!("{build}"),
-            // Browser views: the code base is the player *family* (HTML5 /
-            // Flash / Silverlight player), not each UA version string.
-            PlayerIdentity::UserAgent(ua) => {
-                ua.split('/').next().unwrap_or(ua).to_string()
-            }
-        };
-        entry.players.insert(player_key);
+        entry.players.insert(seg.players()[i]);
     }
     acc.into_iter()
         .map(|(publisher, a)| {
+            let publisher = PublisherId::new(publisher);
             let complexity = match measure {
                 ComplexityMeasure::Combinations => a.combos.len() as f64,
                 ComplexityMeasure::ProtocolTitles => {
@@ -123,6 +123,7 @@ mod tests {
     use super::*;
     use crate::store::tests::test_view;
     use vmp_core::ids::CdnId;
+    use vmp_core::view::PlayerIdentity;
 
     fn synthetic_scatter(slope: f64, n: usize) -> Vec<ComplexityPoint> {
         (1..=n)

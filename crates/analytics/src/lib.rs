@@ -11,23 +11,33 @@
 //!   counts) and `weight × hours` (view-hours), so a scaled-down sample
 //!   reproduces population statistics unbiasedly.
 //!
-//! Modules: [`store`] (ingest + snapshot indexing), [`query`] (generic
-//! weighted share/count aggregations), [`perpub`] (counts-per-publisher
-//! distributions, view-hour bucketing, weighted averages over time),
-//! [`complexity`] (§5 metrics and log-log fits), [`report`] (plain-text
-//! table/series rendering used by the `repro` binary and EXPERIMENTS.md).
+//! * **Columnar execution, row-identical results.** Ingest builds one
+//!   dictionary-encoded [`columns::Segment`] per snapshot and every
+//!   aggregate runs through the shared group-by kernel in [`columns`];
+//!   the row-at-a-time implementations in [`query`] are kept as the
+//!   reference the kernel is property-tested against, bit for bit.
+//!
+//! Modules: [`store`] (ingest, segment build, zero-copy masked views),
+//! [`columns`] (segments, publisher masks, the group-by/rollup kernel and
+//! its snapshot-parallel drivers), [`query`] (row-oriented reference
+//! aggregations), [`perpub`] (counts-per-publisher distributions, view-hour
+//! bucketing, weighted averages over time), [`complexity`] (§5 metrics and
+//! log-log fits), [`report`] (plain-text table/series rendering used by the
+//! `repro` binary and EXPERIMENTS.md).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod columns;
 pub mod complexity;
 pub mod perpub;
 pub mod query;
 pub mod report;
 pub mod store;
 
+pub use columns::{DimColumn, DimSpec, PublisherMask, Segment, SegmentSource, ShareMetric};
 pub use complexity::{complexity_fit, ComplexityMeasure, ComplexityPoint};
 pub use perpub::{count_histogram, counts_by_size_bucket, counts_per_publisher, CountsOverTime};
 pub use query::{publisher_share_by, vh_share_by, views_share_by};
 pub use report::{Series, Table};
-pub use store::{ViewRef, ViewStore};
+pub use store::{MaskedStore, ViewRef, ViewStore};

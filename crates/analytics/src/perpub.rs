@@ -7,13 +7,19 @@
 //! (b) the count distribution bucketed by publisher view-hours (the
 //! `X..10^5X` buckets); and
 //! (c) the average and view-hour-weighted average count over time.
+//!
+//! All three run on the columnar kernel: one per-publisher rollup per
+//! segment ([`crate::columns::per_publisher_segment`]), with the
+//! over-time series fanning segments out in parallel
+//! ([`crate::columns::per_segment_map`]) — per-snapshot arithmetic is
+//! single-threaded row-order, so the numbers are identical to the
+//! sequential reference.
 
 use std::collections::BTreeMap;
 use vmp_core::ids::PublisherId;
 use vmp_core::time::SnapshotId;
 
-use crate::query::per_publisher_values;
-use crate::store::ViewStore;
+use crate::columns::{per_publisher_segment, per_segment_map, DimSpec, SegmentSource};
 
 /// One publisher's count of dimension instances and its view-hours.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -26,21 +32,25 @@ pub struct PublisherCount {
     pub view_hours: f64,
 }
 
-/// Counts per publisher at one snapshot for a dimension extractor.
-pub fn counts_per_publisher<'a, V: Ord + Clone>(
-    store: &'a ViewStore,
+/// Counts per publisher at one snapshot for a dimension.
+pub fn counts_per_publisher<S: SegmentSource, V: Ord>(
+    source: &S,
     snapshot: SnapshotId,
-    extract: impl Fn(&crate::store::ViewRef<'a>) -> Vec<V>,
+    spec: DimSpec<V>,
     min_traffic_share: f64,
 ) -> Vec<PublisherCount> {
-    per_publisher_values(store.at(snapshot), extract, min_traffic_share)
-        .into_iter()
-        .map(|(publisher, (values, vh))| PublisherCount {
-            publisher,
-            count: values.len().max(1),
-            view_hours: vh,
-        })
-        .collect()
+    let _span = vmp_obs::span("analytics.query.per_publisher");
+    match source.store().segment(snapshot) {
+        Some(seg) => per_publisher_segment(seg, source.mask(), spec.column)
+            .into_iter()
+            .map(|(raw, agg)| PublisherCount {
+                publisher: PublisherId::new(raw),
+                count: agg.supported_count(min_traffic_share).max(1),
+                view_hours: agg.hours,
+            })
+            .collect(),
+        None => Vec::new(),
+    }
 }
 
 /// Histogram over counts: `count → (% of publishers, % of view-hours)`
@@ -107,28 +117,38 @@ pub struct CountsOverTime {
 }
 
 impl CountsOverTime {
-    /// Computes both averages for every snapshot in the store.
-    pub fn compute<'a, V: Ord + Clone>(
-        store: &'a ViewStore,
-        extract: impl Fn(&crate::store::ViewRef<'a>) -> Vec<V> + Copy,
+    /// Computes both averages for every snapshot in the store. Segments run
+    /// in parallel; each snapshot's averages come from its own row-order
+    /// rollup, and points are assembled in ascending snapshot order.
+    pub fn compute<S: SegmentSource, V: Ord>(
+        source: &S,
+        spec: DimSpec<V>,
         min_traffic_share: f64,
     ) -> CountsOverTime {
-        let mut points = Vec::new();
-        for snapshot in store.snapshots() {
-            let counts = counts_per_publisher(store, snapshot, extract, min_traffic_share);
-            if counts.is_empty() {
-                continue;
+        let _span = vmp_obs::span("analytics.query.per_publisher");
+        let mask = source.mask();
+        let points = per_segment_map(source, move |seg| {
+            let per_pub = per_publisher_segment(seg, mask, spec.column);
+            if per_pub.is_empty() {
+                return None;
             }
-            let avg =
-                counts.iter().map(|c| c.count as f64).sum::<f64>() / counts.len() as f64;
-            let total_vh: f64 = counts.iter().map(|c| c.view_hours).sum();
-            let weighted = if total_vh > 0.0 {
-                counts.iter().map(|c| c.count as f64 * c.view_hours).sum::<f64>() / total_vh
-            } else {
-                avg
-            };
-            points.push((snapshot, avg, weighted));
-        }
+            let n = per_pub.len() as f64;
+            let mut count_sum = 0.0f64;
+            let mut vh_sum = 0.0f64;
+            let mut weighted_sum = 0.0f64;
+            for agg in per_pub.values() {
+                let count = agg.supported_count(min_traffic_share).max(1) as f64;
+                count_sum += count;
+                vh_sum += agg.hours;
+                weighted_sum += count * agg.hours;
+            }
+            let avg = count_sum / n;
+            let weighted = if vh_sum > 0.0 { weighted_sum / vh_sum } else { avg };
+            Some((avg, weighted))
+        })
+        .into_iter()
+        .filter_map(|(snapshot, point)| point.map(|(avg, weighted)| (snapshot, avg, weighted)))
+        .collect();
         CountsOverTime { points }
     }
 
@@ -148,8 +168,9 @@ impl CountsOverTime {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::query::protocol_dim;
+    use crate::columns::PROTOCOL;
     use crate::store::tests::test_view;
+    use crate::store::ViewStore;
 
     fn store() -> ViewStore {
         ViewStore::ingest(vec![
@@ -169,7 +190,7 @@ mod tests {
     #[test]
     fn counts_and_histogram() {
         let s = store();
-        let counts = counts_per_publisher(&s, SnapshotId::FIRST, protocol_dim, 0.01);
+        let counts = counts_per_publisher(&s, SnapshotId::FIRST, PROTOCOL, 0.01);
         assert_eq!(counts.len(), 2);
         let hist = count_histogram(&counts);
         // One publisher with 1 protocol (90 vh), one with 2 (10 vh).
@@ -182,7 +203,7 @@ mod tests {
     #[test]
     fn averages_over_time() {
         let s = store();
-        let series = CountsOverTime::compute(&s, protocol_dim, 0.01);
+        let series = CountsOverTime::compute(&s, PROTOCOL, 0.01);
         assert_eq!(series.points.len(), 2);
         let (_, avg0, w0) = series.points[0];
         assert!((avg0 - 1.5).abs() < 1e-9);
@@ -216,11 +237,21 @@ mod tests {
     #[test]
     fn empty_inputs_are_safe() {
         let s = ViewStore::ingest(vec![]);
-        let counts = counts_per_publisher(&s, SnapshotId::FIRST, protocol_dim, 0.01);
+        let counts = counts_per_publisher(&s, SnapshotId::FIRST, PROTOCOL, 0.01);
         assert!(counts.is_empty());
         assert!(count_histogram(&counts).is_empty());
         assert!(counts_by_size_bucket(&counts, 100.0).is_empty());
-        assert!(CountsOverTime::compute(&s, protocol_dim, 0.01).points.is_empty());
+        assert!(CountsOverTime::compute(&s, PROTOCOL, 0.01).points.is_empty());
+    }
+
+    #[test]
+    fn masked_counts_skip_excluded_publishers() {
+        let s = store();
+        let masked = s.excluding(&[PublisherId::new(1)]);
+        let counts = counts_per_publisher(&masked, SnapshotId::FIRST, PROTOCOL, 0.01);
+        assert_eq!(counts.len(), 1);
+        assert_eq!(counts[0].publisher, PublisherId::new(0));
+        assert_eq!(counts[0].count, 2);
     }
 
     #[test]

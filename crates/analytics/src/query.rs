@@ -11,6 +11,11 @@
 //! come from multiple CDNs, §3 footnote 4); its weight is split equally
 //! among them for the share computations, while publisher support counts
 //! every value.
+//!
+//! These row-at-a-time implementations are the *reference*: production
+//! figures run on the columnar kernel in [`crate::columns`], and the
+//! equivalence property tests assert the two agree bit for bit on every
+//! dimension, masked or not. Keep both sides in sync when semantics change.
 
 use std::collections::{BTreeMap, BTreeSet};
 use vmp_core::cdn::CdnName;

@@ -1,10 +1,22 @@
-//! Telemetry ingestion and snapshot indexing.
+//! Telemetry ingestion: row storage, columnar segment build, masked views.
+//!
+//! Ingest sorts the batch by snapshot (stable, so within-snapshot order is
+//! generation order), classifies every manifest URL once, interns player
+//! identities into a store-wide dictionary, and builds one columnar
+//! [`Segment`] per snapshot. Aggregations run over the segments (see
+//! [`crate::columns`]); [`ViewRef`] iteration remains as the compatibility
+//! surface for row-at-a-time consumers and the reference queries in
+//! [`crate::query`].
 
-use std::collections::BTreeMap;
-use std::ops::Range;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use vmp_core::ids::PublisherId;
 use vmp_core::protocol::StreamingProtocol;
 use vmp_core::time::SnapshotId;
-use vmp_core::view::SampledView;
+use vmp_core::view::{PlayerIdentity, SampledView};
+
+use crate::columns::{PublisherMask, Segment, SegmentSource, NO_CODE};
 
 /// A view with its ingest-time derived dimensions.
 #[derive(Debug, Clone, Copy)]
@@ -28,40 +40,80 @@ impl<'a> ViewRef<'a> {
     }
 }
 
-/// The telemetry store: append-only, indexed by snapshot.
+/// Whether the `miss_index`-th unclassifiable manifest of a batch (1-based)
+/// gets a logged event. Every 256th miss starting from the first — the
+/// sampling is a pure function of the batch-local miss count, so a given
+/// batch always logs the same rows no matter what was ingested before it.
+fn miss_sampled(miss_index: u64) -> bool {
+    miss_index % 256 == 1
+}
+
+/// The telemetry store: append-only rows plus per-snapshot columnar
+/// segments built once at ingest.
 #[derive(Debug, Default)]
 pub struct ViewStore {
     views: Vec<SampledView>,
-    protocols: Vec<Option<StreamingProtocol>>,
-    by_snapshot: BTreeMap<SnapshotId, Range<usize>>,
+    segments: Vec<Segment>,
+    /// Player dictionary: code (index) → canonical player key (SDK build
+    /// string or user-agent family).
+    player_keys: Vec<String>,
 }
 
 impl ViewStore {
-    /// Ingests a batch of samples (sorting by snapshot, deriving dimensions).
+    /// Ingests a batch of samples: sorts by snapshot, derives dimensions,
+    /// builds the columnar segments.
     pub fn ingest(mut views: Vec<SampledView>) -> ViewStore {
         let _span = vmp_obs::span("analytics.ingest");
         vmp_obs::counter("analytics.rows_ingested").add(views.len() as u64);
         views.sort_by_key(|v| v.record.snapshot);
-        let unclassified = vmp_obs::counter("analytics.manifests_unclassified");
-        let protocols: Vec<Option<StreamingProtocol>> = views
-            .iter()
-            .map(|v| {
-                let proto = vmp_manifest::classify(&v.record.manifest_url);
-                if proto.is_none() {
-                    unclassified.inc();
-                    // Sampled: unclassifiable URLs are common by design (§5,
-                    // Table 1 lists opaque manifest schemes).
-                    if unclassified.get() % 256 == 1 {
-                        vmp_obs::event(
-                            vmp_obs::EventKind::ManifestParseError,
-                            format!("unclassifiable manifest url: {}", v.record.manifest_url),
-                        );
+
+        let _columns_span = vmp_obs::span("analytics.columns.build");
+        let mut protocol_codes: Vec<u8> = Vec::with_capacity(views.len());
+        let mut player_codes: Vec<u32> = Vec::with_capacity(views.len());
+        let mut player_keys: Vec<String> = Vec::new();
+        let mut player_dict: HashMap<String, u32> = HashMap::new();
+        // Fast path for SDK identities: avoids formatting the build string
+        // on every row.
+        let mut build_codes: HashMap<vmp_core::sdk::PlayerBuild, u32> = HashMap::new();
+        let mut misses = 0u64;
+        for v in &views {
+            let proto = vmp_manifest::classify(&v.record.manifest_url);
+            protocol_codes.push(proto.map_or(NO_CODE, StreamingProtocol::code));
+            if proto.is_none() {
+                misses += 1;
+                // Sampled: unclassifiable URLs are common by design (§5,
+                // Table 1 lists opaque manifest schemes).
+                if miss_sampled(misses) {
+                    vmp_obs::event(
+                        vmp_obs::EventKind::ManifestParseError,
+                        format!("unclassifiable manifest url: {}", v.record.manifest_url),
+                    );
+                }
+            }
+            let code = match &v.record.player {
+                PlayerIdentity::Sdk(build) => match build_codes.get(build) {
+                    Some(&c) => c,
+                    None => {
+                        let mut key = String::new();
+                        let _ = write!(key, "{build}");
+                        let c = intern(&mut player_dict, &mut player_keys, key);
+                        build_codes.insert(*build, c);
+                        c
+                    }
+                },
+                PlayerIdentity::UserAgent(ua) => {
+                    let family = ua.split('/').next().unwrap_or(ua.as_str());
+                    match player_dict.get(family) {
+                        Some(&c) => c,
+                        None => intern(&mut player_dict, &mut player_keys, family.to_string()),
                     }
                 }
-                proto
-            })
-            .collect();
-        let mut by_snapshot = BTreeMap::new();
+            };
+            player_codes.push(code);
+        }
+        vmp_obs::counter("analytics.manifests_unclassified").add(misses);
+
+        let mut segments = Vec::new();
         let mut start = 0usize;
         while start < views.len() {
             let snap = views[start].record.snapshot;
@@ -69,10 +121,17 @@ impl ViewStore {
             while end < views.len() && views[end].record.snapshot == snap {
                 end += 1;
             }
-            by_snapshot.insert(snap, start..end);
+            segments.push(Segment::build(
+                snap,
+                start..end,
+                &views,
+                protocol_codes[start..end].to_vec(),
+                player_codes[start..end].to_vec(),
+            ));
             start = end;
         }
-        ViewStore { views, protocols, by_snapshot }
+        vmp_obs::counter("analytics.segments_built").add(segments.len() as u64);
+        ViewStore { views, segments, player_keys }
     }
 
     /// Number of stored samples.
@@ -85,30 +144,166 @@ impl ViewStore {
         self.views.is_empty()
     }
 
+    /// The columnar segments, ascending by snapshot (only snapshots with
+    /// data have one).
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// One snapshot's segment, if it has data.
+    pub fn segment(&self, snapshot: SnapshotId) -> Option<&Segment> {
+        self.segments
+            .binary_search_by_key(&snapshot, |s| s.snapshot())
+            .ok()
+            .map(|i| &self.segments[i])
+    }
+
+    /// The canonical key behind a player dictionary code.
+    pub fn player_key(&self, code: u32) -> &str {
+        &self.player_keys[code as usize]
+    }
+
+    /// Number of distinct players in the dictionary.
+    pub fn player_count(&self) -> usize {
+        self.player_keys.len()
+    }
+
     /// Snapshots with data, ascending.
     pub fn snapshots(&self) -> Vec<SnapshotId> {
-        self.by_snapshot.keys().copied().collect()
+        self.segments.iter().map(|s| s.snapshot()).collect()
     }
 
     /// The latest snapshot with data (the paper's "latest snapshot").
     pub fn latest_snapshot(&self) -> Option<SnapshotId> {
-        self.by_snapshot.keys().next_back().copied()
+        self.segments.last().map(|s| s.snapshot())
     }
 
     /// Iterates one snapshot's views.
     pub fn at(&self, snapshot: SnapshotId) -> impl Iterator<Item = ViewRef<'_>> + Clone {
-        let range = self.by_snapshot.get(&snapshot).cloned().unwrap_or(0..0);
-        range.map(move |i| ViewRef { view: &self.views[i], protocol: self.protocols[i] })
+        self.segment(snapshot).into_iter().flat_map(|seg| seg.view_refs(&self.views))
     }
 
-    /// Iterates everything.
+    /// Iterates everything, snapshot-major.
     pub fn all(&self) -> impl Iterator<Item = ViewRef<'_>> + Clone {
-        (0..self.views.len()).map(move |i| ViewRef { view: &self.views[i], protocol: self.protocols[i] })
+        self.segments.iter().flat_map(|seg| seg.view_refs(&self.views))
     }
 
     /// Total weighted view-hours at one snapshot.
     pub fn total_hours_at(&self, snapshot: SnapshotId) -> f64 {
-        self.at(snapshot).map(|v| v.hours()).sum()
+        match self.segment(snapshot) {
+            Some(seg) => (0..seg.len()).map(|i| seg.weighted_hours(i)).sum(),
+            None => 0.0,
+        }
+    }
+
+    /// A zero-copy filtered view excluding the given publishers. Scans skip
+    /// masked rows in place — no rows are cloned or re-ingested — while
+    /// preserving the surviving rows' relative order, so aggregates are
+    /// bit-identical to re-ingesting the survivors.
+    pub fn excluding(&self, excluded: &[PublisherId]) -> MaskedStore<'_> {
+        MaskedStore::new(self, PublisherMask::new(excluded))
+    }
+}
+
+fn intern(dict: &mut HashMap<String, u32>, keys: &mut Vec<String>, key: String) -> u32 {
+    let code = keys.len() as u32;
+    keys.push(key.clone());
+    dict.insert(key, code);
+    code
+}
+
+impl SegmentSource for ViewStore {
+    fn store(&self) -> &ViewStore {
+        self
+    }
+
+    fn mask(&self) -> Option<&PublisherMask> {
+        None
+    }
+
+    fn live_segments(&self) -> Vec<&Segment> {
+        self.segments.iter().collect()
+    }
+}
+
+/// A publisher-filtered view over a [`ViewStore`]'s segments. Holds a
+/// bitmask instead of copied rows; snapshots whose rows are all excluded
+/// disappear, exactly as if the survivors had been re-ingested.
+#[derive(Debug)]
+pub struct MaskedStore<'a> {
+    store: &'a ViewStore,
+    mask: PublisherMask,
+    kept_per_segment: Vec<usize>,
+    kept: usize,
+}
+
+impl<'a> MaskedStore<'a> {
+    fn new(store: &'a ViewStore, mask: PublisherMask) -> MaskedStore<'a> {
+        let kept_per_segment: Vec<usize> = store
+            .segments()
+            .iter()
+            .map(|seg| seg.publishers().iter().filter(|&&p| !mask.excludes(p)).count())
+            .collect();
+        let kept = kept_per_segment.iter().sum();
+        MaskedStore { store, mask, kept_per_segment, kept }
+    }
+
+    /// Number of surviving samples.
+    pub fn len(&self) -> usize {
+        self.kept
+    }
+
+    /// Whether everything was masked out (or the store was empty).
+    pub fn is_empty(&self) -> bool {
+        self.kept == 0
+    }
+
+    /// Snapshots with surviving data, ascending.
+    pub fn snapshots(&self) -> Vec<SnapshotId> {
+        self.store
+            .segments()
+            .iter()
+            .zip(&self.kept_per_segment)
+            .filter(|(_, &kept)| kept > 0)
+            .map(|(seg, _)| seg.snapshot())
+            .collect()
+    }
+
+    /// The latest snapshot with surviving data.
+    pub fn latest_snapshot(&self) -> Option<SnapshotId> {
+        self.snapshots().last().copied()
+    }
+
+    /// Iterates one snapshot's surviving views.
+    pub fn at(&self, snapshot: SnapshotId) -> impl Iterator<Item = ViewRef<'_>> + Clone {
+        let mask = &self.mask;
+        self.store.at(snapshot).filter(move |v| !mask.excludes(v.view.record.publisher.raw()))
+    }
+
+    /// Iterates all surviving views, snapshot-major.
+    pub fn all(&self) -> impl Iterator<Item = ViewRef<'_>> + Clone {
+        let mask = &self.mask;
+        self.store.all().filter(move |v| !mask.excludes(v.view.record.publisher.raw()))
+    }
+}
+
+impl SegmentSource for MaskedStore<'_> {
+    fn store(&self) -> &ViewStore {
+        self.store
+    }
+
+    fn mask(&self) -> Option<&PublisherMask> {
+        Some(&self.mask)
+    }
+
+    fn live_segments(&self) -> Vec<&Segment> {
+        self.store
+            .segments()
+            .iter()
+            .zip(&self.kept_per_segment)
+            .filter(|(_, &kept)| kept > 0)
+            .map(|(seg, _)| seg)
+            .collect()
     }
 }
 
@@ -198,5 +393,57 @@ pub(crate) mod tests {
         assert!(store.is_empty());
         assert_eq!(store.latest_snapshot(), None);
         assert_eq!(store.total_hours_at(SnapshotId::LAST), 0.0);
+    }
+
+    #[test]
+    fn segments_hold_dictionary_codes() {
+        let store = ViewStore::ingest(vec![
+            test_view(2, 7, "https://h/p/a.m3u8", 1.0, 2.0),
+            test_view(2, 8, "https://h/p/opaque", 0.5, 1.0),
+        ]);
+        let seg = store.segment(SnapshotId::new(2).unwrap()).unwrap();
+        assert_eq!(seg.len(), 2);
+        assert_eq!(seg.publishers(), &[7, 8]);
+        assert_eq!(seg.protocols(), &[StreamingProtocol::Hls.code(), NO_CODE]);
+        assert_eq!(seg.devices(), &[DeviceModel::Roku.code(); 2]);
+        assert_eq!(seg.cdn_masks(), &[1u64, 1u64]);
+        assert!((seg.weighted_hours(0) - 2.0).abs() < 1e-12);
+        // Both rows share the "test" user-agent family.
+        assert_eq!(seg.players(), &[0, 0]);
+        assert_eq!(store.player_count(), 1);
+        assert_eq!(store.player_key(0), "test");
+    }
+
+    #[test]
+    fn masked_store_skips_publishers_without_copying() {
+        let store = ViewStore::ingest(vec![
+            test_view(0, 0, "https://h/p/a.m3u8", 1.0, 1.0),
+            test_view(0, 1, "https://h/p/b.m3u8", 2.0, 1.0),
+            test_view(1, 1, "https://h/p/c.m3u8", 3.0, 1.0),
+        ]);
+        let masked = store.excluding(&[PublisherId::new(1)]);
+        assert_eq!(masked.len(), 1);
+        // Snapshot 1 had only the excluded publisher — it disappears, as a
+        // re-ingest of the survivors would make it.
+        assert_eq!(masked.snapshots(), vec![SnapshotId::FIRST]);
+        assert_eq!(masked.latest_snapshot(), Some(SnapshotId::FIRST));
+        let pubs: Vec<u32> =
+            masked.all().map(|v| v.view.record.publisher.raw()).collect();
+        assert_eq!(pubs, vec![0]);
+
+        let none = store.excluding(&[PublisherId::new(0), PublisherId::new(1)]);
+        assert!(none.is_empty());
+        assert!(none.snapshots().is_empty());
+    }
+
+    #[test]
+    fn miss_sampling_is_batch_local() {
+        // 1-based: the first miss of every batch logs, then every 256th.
+        assert!(miss_sampled(1));
+        assert!(!miss_sampled(2));
+        assert!(!miss_sampled(256));
+        assert!(miss_sampled(257));
+        assert!(!miss_sampled(258));
+        assert!(miss_sampled(513));
     }
 }

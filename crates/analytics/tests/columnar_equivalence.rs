@@ -1,0 +1,239 @@
+//! Property tests: the columnar kernel agrees **exactly** — bit-for-bit
+//! `f64` equality, no epsilon — with the row-at-a-time reference in
+//! `vmp_analytics::query` on randomized ingest batches, masked and
+//! unmasked. The batches deliberately include edge cases the synthetic
+//! ecosystem never produces: unclassifiable manifest URLs, empty CDN sets,
+//! zero-weight and zero-duration views.
+
+use proptest::prelude::*;
+use vmp_analytics::columns::{
+    self, BROWSER_TECH, CDN, CLASS, CONNECTION, DEVICE, ISP, PLATFORM, PROTOCOL, REGION,
+};
+use vmp_analytics::query;
+use vmp_analytics::store::ViewStore;
+use vmp_core::cdn::CdnName;
+use vmp_core::content::ContentClass;
+use vmp_core::device::DeviceModel;
+use vmp_core::geo::{ConnectionType, Isp, Region};
+use vmp_core::ids::{CdnId, PublisherId, SessionId, VideoId};
+use vmp_core::protocol::StreamingProtocol;
+use vmp_core::qoe::QoeSummary;
+use vmp_core::sdk::{PlayerBuild, SdkKind, SdkVersion};
+use vmp_core::time::SnapshotId;
+use vmp_core::units::{Kbps, Seconds};
+use vmp_core::view::{OwnershipFlag, PlayerIdentity, SampledView, ViewRecord};
+
+/// Manifest URLs spanning every protocol plus unclassifiable ones.
+const URLS: [&str; 8] = [
+    "https://edge.cdn-a.example.net/p1/v1/master.m3u8",
+    "https://edge.cdn-a.example.net/p1/v1.mpd",
+    "https://edge.cdn-a.example.net/p1/v1.ism/manifest",
+    "https://edge.cdn-a.example.net/p1/cache/v1.f4m",
+    "rtmp://edge.cdn-a.example.net/live/p1/v1",
+    "https://edge.cdn-a.example.net/p1/v1.mp4",
+    "https://edge.cdn-a.example.net/p1/v1.bin",
+    "gopher://old.example.net/p1/v1",
+];
+
+const UAS: [&str; 3] = ["Mozilla/5.0", "AppleWebKit/605.1", "Opera/9.80"];
+const SDKS: [SdkKind; 3] = [SdkKind::AvFoundation, SdkKind::ExoPlayer, SdkKind::RokuSceneGraph];
+
+/// Builds one view from a compact tuple; `seed` drives the fields that do
+/// not need their own strategy dimension.
+fn view_from(
+    snapshot: u32,
+    publisher: u32,
+    device_code: u8,
+    url_idx: usize,
+    cdn_bits: u64,
+    seed: u64,
+) -> SampledView {
+    let device = DeviceModel::from_code(device_code).expect("code in range");
+    let player = if seed & 1 == 0 {
+        PlayerIdentity::UserAgent(UAS[(seed >> 1) as usize % UAS.len()].to_string())
+    } else {
+        PlayerIdentity::Sdk(PlayerBuild::new(
+            SDKS[(seed >> 1) as usize % SDKS.len()],
+            SdkVersion::new((seed >> 3 & 3) as u16, (seed >> 5 & 7) as u16),
+        ))
+    };
+    let cdns: Vec<CdnId> = (0..CdnName::OBSERVED_TOTAL as u32)
+        .filter(|b| cdn_bits & (1 << b) != 0)
+        .map(CdnId::new)
+        .collect();
+    let ownership = if seed >> 7 & 3 == 0 {
+        OwnershipFlag::Syndicated { owner: PublisherId::new((seed >> 9 & 7) as u32) }
+    } else {
+        OwnershipFlag::Owned
+    };
+    SampledView {
+        record: ViewRecord {
+            session: SessionId::new((seed & 0xFFFF) as u32),
+            snapshot: SnapshotId::new(snapshot).expect("snapshot in range"),
+            publisher: PublisherId::new(publisher),
+            video: VideoId::new((seed >> 12 & 0xFF) as u32),
+            manifest_url: URLS[url_idx].to_string(),
+            device,
+            os: device.os(),
+            player,
+            cdns,
+            available_bitrates: vec![Kbps(400), Kbps(1200)],
+            viewing_time: Seconds::from_minutes((seed >> 20 & 0xFFF) as f64 / 16.0),
+            class: ContentClass::from_code((seed >> 32) as u8 % ContentClass::CODE_COUNT as u8)
+                .expect("class code"),
+            ownership,
+            region: Region::from_code((seed >> 34) as u8 % Region::CODE_COUNT as u8)
+                .expect("region code"),
+            isp: Isp::from_code((seed >> 38) as u8 % Isp::CODE_COUNT as u8).expect("isp code"),
+            connection: ConnectionType::from_code(
+                (seed >> 42) as u8 % ConnectionType::CODE_COUNT as u8,
+            )
+            .expect("connection code"),
+            qoe: QoeSummary::default(),
+        },
+        // Quantized so sums exercise real accumulation, zero included.
+        weight: (seed >> 46 & 0x3FF) as f64 / 8.0,
+    }
+}
+
+fn batch() -> impl Strategy<Value = Vec<SampledView>> {
+    proptest::collection::vec(
+        (
+            0u32..4,
+            0u32..8,
+            0u8..DeviceModel::CODE_COUNT as u8,
+            0usize..URLS.len(),
+            0u64..(1 << CdnName::OBSERVED_TOTAL),
+            0u64..u64::MAX,
+        ),
+        0..120,
+    )
+    .prop_map(|rows| {
+        rows.into_iter().map(|(s, p, d, u, c, seed)| view_from(s, p, d, u, c, seed)).collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every share/rollup the kernel computes must equal the row reference
+    /// exactly, per snapshot, for every dimension, with and without a
+    /// publisher mask — and the masked view must equal a from-scratch
+    /// re-ingest of the surviving rows.
+    #[test]
+    fn columnar_rollups_match_row_reference(views in batch()) {
+        let store = ViewStore::ingest(views.clone());
+        prop_assert_eq!(store.len(), views.len());
+
+        let excluded = [PublisherId::new(1), PublisherId::new(4)];
+        let masked = store.excluding(&excluded);
+        let survivors: Vec<SampledView> = views
+            .iter()
+            .filter(|v| !excluded.contains(&v.record.publisher))
+            .cloned()
+            .collect();
+        let reingested = ViewStore::ingest(survivors);
+        prop_assert_eq!(masked.len(), reingested.len());
+
+        // One macro arm per source so `store`/`masked` keep their own types;
+        // the row reference runs on the same source's compat iterator.
+        macro_rules! check_dim {
+            ($source:expr, $snap:expr, $spec:expr, $extract:expr) => {{
+                prop_assert_eq!(
+                    columns::vh_share($source, $snap, $spec),
+                    query::vh_share_by($source.at($snap), $extract)
+                );
+                prop_assert_eq!(
+                    columns::views_share($source, $snap, $spec),
+                    query::views_share_by($source.at($snap), $extract)
+                );
+                prop_assert_eq!(
+                    columns::publisher_share($source, $snap, $spec, 0.05),
+                    query::publisher_share_by($source.at($snap), $extract, 0.05)
+                );
+                prop_assert_eq!(
+                    columns::per_publisher_values($source, $snap, $spec, 0.05),
+                    query::per_publisher_values($source.at($snap), $extract, 0.05)
+                );
+            }};
+        }
+        macro_rules! check_all_dims {
+            ($source:expr, $snap:expr) => {{
+                check_dim!($source, $snap, PROTOCOL, query::protocol_dim);
+                check_dim!($source, $snap, PLATFORM, query::platform_dim);
+                check_dim!($source, $snap, DEVICE, query::device_dim);
+                check_dim!($source, $snap, BROWSER_TECH, query::browser_tech_dim);
+                check_dim!($source, $snap, CDN, query::cdn_dim);
+                check_dim!($source, $snap, REGION, |v: &vmp_analytics::store::ViewRef<'_>| {
+                    vec![v.view.record.region]
+                });
+                check_dim!($source, $snap, ISP, |v: &vmp_analytics::store::ViewRef<'_>| {
+                    vec![v.view.record.isp]
+                });
+                check_dim!($source, $snap, CONNECTION, |v: &vmp_analytics::store::ViewRef<'_>| {
+                    vec![v.view.record.connection]
+                });
+                check_dim!($source, $snap, CLASS, |v: &vmp_analytics::store::ViewRef<'_>| {
+                    vec![v.view.record.class]
+                });
+                prop_assert_eq!(
+                    columns::value_share($source, $snap, PROTOCOL, &StreamingProtocol::Hls),
+                    query::per_publisher_value_share(
+                        $source.at($snap),
+                        query::protocol_dim,
+                        &StreamingProtocol::Hls
+                    )
+                );
+                prop_assert_eq!(
+                    columns::value_share($source, $snap, CDN, &CdnName::A),
+                    query::per_publisher_value_share(
+                        $source.at($snap),
+                        query::cdn_dim,
+                        &CdnName::A
+                    )
+                );
+            }};
+        }
+
+        for snap in (0..5).filter_map(SnapshotId::new) {
+            check_all_dims!(&store, snap);
+            check_all_dims!(&masked, snap);
+            // Zero-copy masking ≡ filtering the rows and re-ingesting.
+            prop_assert_eq!(
+                columns::vh_share(&masked, snap, PLATFORM),
+                columns::vh_share(&reingested, snap, PLATFORM)
+            );
+            prop_assert_eq!(
+                columns::vh_share(&masked, snap, CDN),
+                columns::vh_share(&reingested, snap, CDN)
+            );
+        }
+
+        // The snapshot-parallel whole-store rollup equals the sequential
+        // per-snapshot reference folded in snapshot order.
+        let mut folded = std::collections::BTreeMap::new();
+        for snap in store.snapshots() {
+            for (v, h) in columns::group_hours_by(&store, snap, PLATFORM) {
+                *folded.entry(v).or_insert(0.0) += h;
+            }
+        }
+        prop_assert_eq!(columns::group_hours_all(&store, PLATFORM), folded);
+    }
+
+    /// Masked iteration preserves the exact surviving rows in order.
+    #[test]
+    fn masked_iteration_matches_filtered_rows(views in batch()) {
+        let store = ViewStore::ingest(views.clone());
+        let excluded = [PublisherId::new(0), PublisherId::new(5)];
+        let masked = store.excluding(&excluded);
+        let kept: Vec<&SampledView> = masked.all().map(|v| v.view).collect();
+        let sorted = {
+            let mut s = views;
+            s.sort_by_key(|v| v.record.snapshot);
+            s
+        };
+        let expected: Vec<&SampledView> =
+            sorted.iter().filter(|v| !excluded.contains(&v.record.publisher)).collect();
+        prop_assert_eq!(kept, expected);
+    }
+}

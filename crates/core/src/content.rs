@@ -7,7 +7,7 @@ use std::fmt;
 
 /// Whether a title is a live stream or video-on-demand. §4.3 shows many
 /// multi-CDN publishers segregate the two classes by CDN.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum ContentClass {
     /// Live (linear) content: low capture-to-eyeball latency matters.
     Live,
@@ -18,6 +18,23 @@ pub enum ContentClass {
 impl ContentClass {
     /// Both classes.
     pub const ALL: [ContentClass; 2] = [ContentClass::Live, ContentClass::Vod];
+
+    /// Number of distinct dimension codes.
+    pub const CODE_COUNT: usize = Self::ALL.len();
+
+    /// Dense dictionary code for columnar storage (declaration order).
+    pub const fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`code`](Self::code).
+    pub const fn from_code(code: u8) -> Option<ContentClass> {
+        if (code as usize) < Self::CODE_COUNT {
+            Some(Self::ALL[code as usize])
+        } else {
+            None
+        }
+    }
 }
 
 impl fmt::Display for ContentClass {

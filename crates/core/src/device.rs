@@ -70,6 +70,46 @@ impl DeviceModel {
         DeviceModel::DesktopBrowser(BrowserTech::Silverlight),
     ];
 
+    /// Number of distinct dimension codes: the 16 catalogue entries plus
+    /// `MobileBrowser` (which is attributed to the Browser platform but is
+    /// not part of the desktop catalogue).
+    pub const CODE_COUNT: usize = 17;
+
+    /// Dense dictionary code for columnar storage: `ALL` order, with
+    /// `MobileBrowser` as the final code.
+    pub const fn code(self) -> u8 {
+        match self {
+            DeviceModel::IPhone => 0,
+            DeviceModel::IPad => 1,
+            DeviceModel::AndroidPhone => 2,
+            DeviceModel::AndroidTablet => 3,
+            DeviceModel::Roku => 4,
+            DeviceModel::AppleTv => 5,
+            DeviceModel::FireTv => 6,
+            DeviceModel::Chromecast => 7,
+            DeviceModel::SamsungTv => 8,
+            DeviceModel::LgTv => 9,
+            DeviceModel::VizioTv => 10,
+            DeviceModel::Xbox => 11,
+            DeviceModel::PlayStation => 12,
+            DeviceModel::DesktopBrowser(BrowserTech::Html5) => 13,
+            DeviceModel::DesktopBrowser(BrowserTech::Flash) => 14,
+            DeviceModel::DesktopBrowser(BrowserTech::Silverlight) => 15,
+            DeviceModel::MobileBrowser => 16,
+        }
+    }
+
+    /// Inverse of [`code`](Self::code).
+    pub const fn from_code(code: u8) -> Option<DeviceModel> {
+        if (code as usize) < Self::ALL.len() {
+            Some(Self::ALL[code as usize])
+        } else if code as usize == Self::CODE_COUNT - 1 {
+            Some(DeviceModel::MobileBrowser)
+        } else {
+            None
+        }
+    }
+
     /// Platform category this device belongs to (mobile *browser* views are
     /// attributed to the Browser platform, matching §4.2's accounting).
     pub const fn platform(self) -> Platform {
@@ -205,6 +245,19 @@ mod tests {
             DeviceModel::MobileBrowser.browser_tech(),
             Some(BrowserTech::Html5)
         );
+    }
+
+    #[test]
+    fn dimension_code_round_trip() {
+        let mut seen = [false; DeviceModel::CODE_COUNT];
+        for d in DeviceModel::ALL.into_iter().chain([DeviceModel::MobileBrowser]) {
+            let code = d.code();
+            assert_eq!(DeviceModel::from_code(code), Some(d));
+            assert!(!seen[code as usize], "duplicate code for {d}");
+            seen[code as usize] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+        assert_eq!(DeviceModel::from_code(DeviceModel::CODE_COUNT as u8), None);
     }
 
     #[test]

@@ -35,6 +35,23 @@ impl Region {
         Region::LatinAmerica,
         Region::RestOfWorld,
     ];
+
+    /// Number of distinct dimension codes.
+    pub const CODE_COUNT: usize = Self::ALL.len();
+
+    /// Dense dictionary code for columnar storage (declaration order).
+    pub const fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`code`](Self::code).
+    pub const fn from_code(code: u8) -> Option<Region> {
+        if (code as usize) < Self::CODE_COUNT {
+            Some(Self::ALL[code as usize])
+        } else {
+            None
+        }
+    }
 }
 
 impl fmt::Display for Region {
@@ -65,6 +82,23 @@ pub enum Isp {
 impl Isp {
     /// All ISPs.
     pub const ALL: [Isp; 3] = [Isp::X, Isp::Y, Isp::Z];
+
+    /// Number of distinct dimension codes.
+    pub const CODE_COUNT: usize = Self::ALL.len();
+
+    /// Dense dictionary code for columnar storage (declaration order).
+    pub const fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`code`](Self::code).
+    pub const fn from_code(code: u8) -> Option<Isp> {
+        if (code as usize) < Self::CODE_COUNT {
+            Some(Self::ALL[code as usize])
+        } else {
+            None
+        }
+    }
 }
 
 impl fmt::Display for Isp {
@@ -93,6 +127,23 @@ impl ConnectionType {
     /// All connection types.
     pub const ALL: [ConnectionType; 3] =
         [ConnectionType::Wifi, ConnectionType::Cellular4g, ConnectionType::Wired];
+
+    /// Number of distinct dimension codes.
+    pub const CODE_COUNT: usize = Self::ALL.len();
+
+    /// Dense dictionary code for columnar storage (declaration order).
+    pub const fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`code`](Self::code).
+    pub const fn from_code(code: u8) -> Option<ConnectionType> {
+        if (code as usize) < Self::CODE_COUNT {
+            Some(Self::ALL[code as usize])
+        } else {
+            None
+        }
+    }
 }
 
 impl fmt::Display for ConnectionType {
@@ -122,5 +173,21 @@ mod tests {
         assert_eq!(Region::ALL.len(), 6);
         assert_eq!(Isp::ALL.len(), 3);
         assert_eq!(ConnectionType::ALL.len(), 3);
+    }
+
+    #[test]
+    fn dimension_codes_round_trip() {
+        for r in Region::ALL {
+            assert_eq!(Region::from_code(r.code()), Some(r));
+        }
+        for i in Isp::ALL {
+            assert_eq!(Isp::from_code(i.code()), Some(i));
+        }
+        for c in ConnectionType::ALL {
+            assert_eq!(ConnectionType::from_code(c.code()), Some(c));
+        }
+        assert_eq!(Region::from_code(Region::CODE_COUNT as u8), None);
+        assert_eq!(Isp::from_code(Isp::CODE_COUNT as u8), None);
+        assert_eq!(ConnectionType::from_code(ConnectionType::CODE_COUNT as u8), None);
     }
 }

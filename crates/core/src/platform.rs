@@ -35,6 +35,23 @@ impl Platform {
         Platform::GameConsole,
     ];
 
+    /// Number of distinct dimension codes.
+    pub const CODE_COUNT: usize = Self::ALL.len();
+
+    /// Dense dictionary code for columnar storage (declaration order).
+    pub const fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`code`](Self::code).
+    pub const fn from_code(code: u8) -> Option<Platform> {
+        if (code as usize) < Self::CODE_COUNT {
+            Some(Self::ALL[code as usize])
+        } else {
+            None
+        }
+    }
+
     /// Whether playback uses an app (device SDK) rather than a browser.
     pub const fn is_app_based(self) -> bool {
         !matches!(self, Platform::Browser)
@@ -82,6 +99,23 @@ impl BrowserTech {
     /// All browser technologies.
     pub const ALL: [BrowserTech; 3] =
         [BrowserTech::Html5, BrowserTech::Flash, BrowserTech::Silverlight];
+
+    /// Number of distinct dimension codes.
+    pub const CODE_COUNT: usize = Self::ALL.len();
+
+    /// Dense dictionary code for columnar storage (declaration order).
+    pub const fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`code`](Self::code).
+    pub const fn from_code(code: u8) -> Option<BrowserTech> {
+        if (code as usize) < Self::CODE_COUNT {
+            Some(Self::ALL[code as usize])
+        } else {
+            None
+        }
+    }
 
     /// Whether the technology requires an external plugin.
     pub const fn is_plugin(self) -> bool {
@@ -175,6 +209,19 @@ mod tests {
         assert!(!BrowserTech::Html5.is_plugin());
         assert!(BrowserTech::Flash.is_plugin());
         assert!(BrowserTech::Silverlight.is_plugin());
+    }
+
+    #[test]
+    fn dimension_codes_round_trip() {
+        for (i, p) in Platform::ALL.into_iter().enumerate() {
+            assert_eq!(p.code() as usize, i);
+            assert_eq!(Platform::from_code(p.code()), Some(p));
+        }
+        assert_eq!(Platform::from_code(Platform::CODE_COUNT as u8), None);
+        for t in BrowserTech::ALL {
+            assert_eq!(BrowserTech::from_code(t.code()), Some(t));
+        }
+        assert_eq!(BrowserTech::from_code(BrowserTech::CODE_COUNT as u8), None);
     }
 
     #[test]

@@ -39,6 +39,24 @@ impl StreamingProtocol {
         StreamingProtocol::Progressive,
     ];
 
+    /// Number of distinct dimension codes.
+    pub const CODE_COUNT: usize = Self::ALL.len();
+
+    /// Dense dictionary code for columnar storage (declaration order, which
+    /// matches `ALL` and the discriminant).
+    pub const fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`code`](Self::code).
+    pub const fn from_code(code: u8) -> Option<StreamingProtocol> {
+        if (code as usize) < Self::CODE_COUNT {
+            Some(Self::ALL[code as usize])
+        } else {
+            None
+        }
+    }
+
     /// The four HTTP-based chunked adaptive streaming protocols that §4.1
     /// focuses on after discarding RTMP and progressive download.
     pub const HTTP_ADAPTIVE: [StreamingProtocol; 4] = [
@@ -189,6 +207,15 @@ impl fmt::Display for Codec {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn dimension_codes_round_trip() {
+        for (i, p) in StreamingProtocol::ALL.into_iter().enumerate() {
+            assert_eq!(p.code() as usize, i);
+            assert_eq!(StreamingProtocol::from_code(p.code()), Some(p));
+        }
+        assert_eq!(StreamingProtocol::from_code(StreamingProtocol::CODE_COUNT as u8), None);
+    }
 
     #[test]
     fn extension_tables_match_table_1() {

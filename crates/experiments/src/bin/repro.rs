@@ -107,7 +107,7 @@ fn main() {
         eprintln!(
             "ecosystem ready: {} publishers, {} weighted view samples, {} snapshots ({:.1}s)",
             ctx.dataset.profiles.len(),
-            ctx.dataset.views.len(),
+            ctx.store.len(),
             ctx.dataset.snapshots.len(),
             started.elapsed().as_secs_f64()
         );

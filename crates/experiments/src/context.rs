@@ -1,6 +1,6 @@
 //! Shared experiment context: one generated ecosystem + ingested telemetry.
 
-use vmp_analytics::store::ViewStore;
+use vmp_analytics::store::{MaskedStore, ViewStore};
 use vmp_core::ids::PublisherId;
 use vmp_synth::ecosystem::{Dataset, EcosystemConfig};
 
@@ -15,7 +15,7 @@ pub enum Scale {
 
 /// The context shared by all ecosystem-driven experiments.
 pub struct ReproContext {
-    /// The generated ecosystem.
+    /// The generated ecosystem (views moved out into the store at ingest).
     pub dataset: Dataset,
     /// Ingested telemetry.
     pub store: ViewStore,
@@ -41,21 +41,18 @@ impl ReproContext {
         if let Some(seed) = seed {
             config.seed = seed;
         }
-        let dataset = Dataset::generate(config);
-        let store = ViewStore::ingest(dataset.views.clone());
+        let mut dataset = Dataset::generate(config);
+        // The store is the single owner of the rows — no duplicate copy of
+        // the whole batch lives on in the dataset.
+        let store = ViewStore::ingest(dataset.take_views());
         ReproContext { dataset, store }
     }
 
-    /// A store excluding the given publishers (Fig 2(c) / 6(b)).
-    pub fn store_excluding(&self, excluded: &[PublisherId]) -> ViewStore {
-        ViewStore::ingest(
-            self.dataset
-                .views
-                .iter()
-                .filter(|v| !excluded.contains(&v.record.publisher))
-                .cloned()
-                .collect(),
-        )
+    /// A zero-copy view of the store excluding the given publishers
+    /// (Fig 2(c) / 6(b)) — a bitmask over the same segments, not a
+    /// re-ingested copy.
+    pub fn store_excluding(&self, excluded: &[PublisherId]) -> MaskedStore<'_> {
+        self.store.excluding(excluded)
     }
 
     /// The DASH-first / largest publishers (paper's anonymized `N`).

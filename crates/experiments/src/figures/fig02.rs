@@ -7,7 +7,7 @@
 use crate::context::ReproContext;
 use crate::figures::helpers::{endpoints, share_series, ShareKind};
 use crate::result::{Check, ExperimentResult};
-use vmp_analytics::query::protocol_dim;
+use vmp_analytics::columns::PROTOCOL;
 use vmp_core::protocol::StreamingProtocol;
 
 /// Runs the Fig 2 regeneration.
@@ -25,14 +25,14 @@ pub fn run(ctx: &ReproContext) -> ExperimentResult {
         &ctx.store,
         "Fig 2(a): % of publishers supporting each protocol",
         &protocols,
-        protocol_dim,
+        PROTOCOL,
         ShareKind::Publishers,
     );
     let b = share_series(
         &ctx.store,
         "Fig 2(b): % of view-hours by protocol",
         &protocols,
-        protocol_dim,
+        PROTOCOL,
         ShareKind::ViewHours,
     );
     let excluded = ctx.dash_first_publishers();
@@ -41,7 +41,7 @@ pub fn run(ctx: &ReproContext) -> ExperimentResult {
         &store_wo,
         "Fig 2(c): % of view-hours by protocol, excluding the large DASH-first publishers",
         &protocols,
-        protocol_dim,
+        PROTOCOL,
         ShareKind::ViewHours,
     );
 

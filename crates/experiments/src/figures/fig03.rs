@@ -3,12 +3,12 @@
 use crate::context::ReproContext;
 use crate::figures::helpers::{counts_figure, endpoints, share_with_at_least};
 use crate::result::{Check, ExperimentResult};
-use vmp_analytics::query::protocol_dim;
+use vmp_analytics::columns::PROTOCOL;
 
 /// Runs the Fig 3 regeneration.
 pub fn run(ctx: &ReproContext) -> ExperimentResult {
     let mut result = ExperimentResult::new("fig03", "Fig 3: protocols per publisher");
-    let (hist, buckets, series) = counts_figure(&ctx.store, "protocols", protocol_dim);
+    let (hist, buckets, series) = counts_figure(&ctx.store, "protocols", PROTOCOL);
 
     // Paper: 38% of publishers use 1 protocol but account for <10% of VH;
     // multi-protocol publishers carry >90% of VH; averages just under 2

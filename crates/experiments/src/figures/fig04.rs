@@ -3,7 +3,7 @@
 
 use crate::context::ReproContext;
 use crate::result::{Check, ExperimentResult};
-use vmp_analytics::query::{per_publisher_value_share, protocol_dim};
+use vmp_analytics::columns::{value_share, PROTOCOL};
 use vmp_analytics::report::Table;
 use vmp_core::protocol::StreamingProtocol;
 use vmp_stats::Cdf;
@@ -18,9 +18,8 @@ pub fn run(ctx: &ReproContext) -> ExperimentResult {
         "CDF of % view-hours via protocol (supporting publishers only)",
         vec!["quantile", "DASH", "HLS"],
     );
-    let dash =
-        per_publisher_value_share(ctx.store.at(last), protocol_dim, &StreamingProtocol::Dash);
-    let hls = per_publisher_value_share(ctx.store.at(last), protocol_dim, &StreamingProtocol::Hls);
+    let dash = value_share(&ctx.store, last, PROTOCOL, &StreamingProtocol::Dash);
+    let hls = value_share(&ctx.store, last, PROTOCOL, &StreamingProtocol::Hls);
     let dash_cdf = Cdf::new(&dash);
     let hls_cdf = Cdf::new(&hls);
     for q in [0.1, 0.25, 0.5, 0.75, 0.9] {

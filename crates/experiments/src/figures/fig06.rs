@@ -3,7 +3,7 @@
 use crate::context::ReproContext;
 use crate::figures::helpers::{endpoints, share_series, ShareKind};
 use crate::result::{Check, ExperimentResult};
-use vmp_analytics::query::platform_dim;
+use vmp_analytics::columns::PLATFORM;
 use vmp_core::platform::Platform;
 
 /// Runs the Fig 6 regeneration.
@@ -14,7 +14,7 @@ pub fn run(ctx: &ReproContext) -> ExperimentResult {
         &ctx.store,
         "Fig 6(a): % of view-hours per platform",
         &Platform::ALL,
-        platform_dim,
+        PLATFORM,
         ShareKind::ViewHours,
     );
     let excluded = ctx.dataset.largest_publishers(3);
@@ -23,14 +23,14 @@ pub fn run(ctx: &ReproContext) -> ExperimentResult {
         &store_wo,
         "Fig 6(b): % of view-hours per platform, excluding the 3 largest publishers",
         &Platform::ALL,
-        platform_dim,
+        PLATFORM,
         ShareKind::ViewHours,
     );
     let c = share_series(
         &ctx.store,
         "Fig 6(c): % of views per platform",
         &Platform::ALL,
-        platform_dim,
+        PLATFORM,
         ShareKind::Views,
     );
 

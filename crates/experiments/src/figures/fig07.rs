@@ -3,7 +3,7 @@
 use crate::context::ReproContext;
 use crate::figures::helpers::{endpoints, share_series, ShareKind};
 use crate::result::{Check, ExperimentResult};
-use vmp_analytics::query::platform_dim;
+use vmp_analytics::columns::PLATFORM;
 use vmp_core::platform::Platform;
 
 /// Runs the Fig 7 regeneration.
@@ -14,7 +14,7 @@ pub fn run(ctx: &ReproContext) -> ExperimentResult {
         &ctx.store,
         "% of publishers supporting each platform",
         &Platform::ALL,
-        platform_dim,
+        PLATFORM,
         ShareKind::Publishers,
     );
 

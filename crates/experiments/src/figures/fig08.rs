@@ -16,15 +16,20 @@ pub fn run(ctx: &ReproContext) -> ExperimentResult {
         vec!["platform", "p25", "p50", "p75", "P(>0.2h) %"],
     );
 
+    let seg = ctx.store.segment(last);
     let mut p_over: Vec<(Platform, f64)> = Vec::new();
     for platform in Platform::ALL {
-        // View-weighted durations (each sample counts `weight` views).
+        // View-weighted durations (each sample counts `weight` views),
+        // straight off the platform/hours/weight columns.
         let mut durations = Vec::new();
         let mut weights = Vec::new();
-        for v in ctx.store.at(last) {
-            if v.view.record.device.platform() == platform {
-                durations.push(v.view.record.viewing_time.hours());
-                weights.push(v.view.weight);
+        if let Some(seg) = seg {
+            let code = platform.code();
+            for (i, &p) in seg.platforms().iter().enumerate() {
+                if p == code {
+                    durations.push(seg.hours()[i]);
+                    weights.push(seg.weights()[i]);
+                }
             }
         }
         let Some(cdf) = Cdf::weighted(&durations, &weights) else {

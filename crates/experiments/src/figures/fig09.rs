@@ -3,12 +3,12 @@
 use crate::context::ReproContext;
 use crate::figures::helpers::{counts_figure, endpoints, share_with_at_least};
 use crate::result::{Check, ExperimentResult};
-use vmp_analytics::query::platform_dim;
+use vmp_analytics::columns::PLATFORM;
 
 /// Runs the Fig 9 regeneration.
 pub fn run(ctx: &ReproContext) -> ExperimentResult {
     let mut result = ExperimentResult::new("fig09", "Fig 9: platforms per publisher");
-    let (hist, buckets, series) = counts_figure(&ctx.store, "platforms", platform_dim);
+    let (hist, buckets, series) = counts_figure(&ctx.store, "platforms", PLATFORM);
 
     // Paper: >85% of publishers support more than one platform and those
     // carry >95% of VH; ≈30% support all five and carry >60% of VH;

@@ -4,50 +4,73 @@ use crate::context::ReproContext;
 use crate::figures::helpers::endpoints;
 use crate::result::{Check, ExperimentResult};
 use vmp_analytics::report::Series;
-use vmp_analytics::store::{ViewRef, ViewStore};
+use vmp_analytics::store::ViewStore;
 use vmp_core::device::DeviceModel;
 use vmp_core::platform::{BrowserTech, Platform};
 
 /// Share series within one platform (views of other platforms excluded).
+///
+/// Labels are a function of the device model (telemetry sets `os` from the
+/// device), so the whole figure is a device-code column scan: one pass per
+/// segment accumulating each label's hours and the platform total in row
+/// order — the same ordered additions the per-label rescans performed.
 fn within_platform_series(
     store: &ViewStore,
     title: &str,
     platform: Platform,
-    label_of: impl Fn(&ViewRef<'_>) -> Option<String>,
+    label_of: impl Fn(DeviceModel) -> Option<String>,
 ) -> Series {
     let mut series = Series::new(title, "snapshot");
-    let snapshots = store.snapshots();
-    // Collect labels first for stable line order.
+    let mut in_platform = [false; DeviceModel::CODE_COUNT];
+    let mut label_lut: [Option<String>; DeviceModel::CODE_COUNT] =
+        std::array::from_fn(|_| None);
+    for code in 0..DeviceModel::CODE_COUNT as u8 {
+        if let Some(device) = DeviceModel::from_code(code) {
+            if device.platform() == platform {
+                in_platform[code as usize] = true;
+                label_lut[code as usize] = label_of(device);
+            }
+        }
+    }
+    // Observed labels only, first-occurrence order then sorted — the same
+    // line set and order the row scan produced.
     let mut labels: Vec<String> = Vec::new();
-    for v in store.all() {
-        if v.view.record.device.platform() == platform {
-            if let Some(l) = label_of(&v) {
-                if !labels.contains(&l) {
-                    labels.push(l);
+    for seg in store.segments() {
+        for &code in seg.devices() {
+            if let Some(l) = &label_lut[code as usize] {
+                if !labels.contains(l) {
+                    labels.push(l.clone());
                 }
             }
         }
     }
     labels.sort();
-    for label in &labels {
-        let mut points = Vec::new();
-        for snapshot in &snapshots {
-            let mut total = 0.0;
-            let mut with = 0.0;
-            for v in store.at(*snapshot) {
-                if v.view.record.device.platform() != platform {
-                    continue;
-                }
-                let h = v.hours();
-                total += h;
-                if label_of(&v).as_deref() == Some(label) {
-                    with += h;
-                }
+    let group_of: [Option<usize>; DeviceModel::CODE_COUNT] = std::array::from_fn(|code| {
+        label_lut[code].as_ref().and_then(|l| labels.iter().position(|x| x == l))
+    });
+
+    let mut lines: Vec<Vec<(String, f64)>> = vec![Vec::new(); labels.len()];
+    for seg in store.segments() {
+        let mut total = 0.0f64;
+        let mut with = vec![0.0f64; labels.len()];
+        for (i, &code) in seg.devices().iter().enumerate() {
+            let code = code as usize;
+            if !in_platform[code] {
+                continue;
             }
-            let share = if total > 0.0 { 100.0 * with / total } else { 0.0 };
-            points.push((snapshot.to_string(), share));
+            let h = seg.weighted_hours(i);
+            total += h;
+            if let Some(g) = group_of[code] {
+                with[g] += h;
+            }
         }
-        series.line(label.clone(), points);
+        for (g, w) in with.into_iter().enumerate() {
+            let share = if total > 0.0 { 100.0 * w / total } else { 0.0 };
+            lines[g].push((seg.snapshot().to_string(), share));
+        }
+    }
+    for (label, points) in labels.into_iter().zip(lines) {
+        series.line(label, points);
     }
     series
 }
@@ -60,19 +83,19 @@ pub fn run(ctx: &ReproContext) -> ExperimentResult {
         &ctx.store,
         "Fig 10(a): browser view-hours by player technology",
         Platform::Browser,
-        |v| v.view.record.device.browser_tech().map(|t| t.label().to_string()),
+        |d| d.browser_tech().map(|t| t.label().to_string()),
     );
     let mobile = within_platform_series(
         &ctx.store,
         "Fig 10(b): mobile view-hours by OS",
         Platform::MobileApp,
-        |v| Some(v.view.record.os.to_string()),
+        |d| Some(d.os().to_string()),
     );
     let settop = within_platform_series(
         &ctx.store,
         "Fig 10(c): set-top view-hours by device",
         Platform::SetTopBox,
-        |v| Some(v.view.record.device.model_string().to_string()),
+        |d| Some(d.model_string().to_string()),
     );
 
     // Paper: HTML5 ≈25% → ≈60%; Flash ≈60% → ≈40%; Android rises to parity

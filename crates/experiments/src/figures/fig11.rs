@@ -3,7 +3,7 @@
 use crate::context::ReproContext;
 use crate::figures::helpers::{endpoints, share_series, ShareKind};
 use crate::result::{Check, ExperimentResult};
-use vmp_analytics::query::cdn_dim;
+use vmp_analytics::columns::CDN;
 use vmp_core::cdn::CdnName;
 
 /// Runs the Fig 11 regeneration.
@@ -14,14 +14,14 @@ pub fn run(ctx: &ReproContext) -> ExperimentResult {
         &ctx.store,
         "Fig 11(a): % of publishers using each major CDN",
         &CdnName::MAJORS,
-        cdn_dim,
+        CDN,
         ShareKind::Publishers,
     );
     let b = share_series(
         &ctx.store,
         "Fig 11(b): % of view-hours served by each major CDN",
         &CdnName::MAJORS,
-        cdn_dim,
+        CDN,
         ShareKind::ViewHours,
     );
 
@@ -60,7 +60,7 @@ pub fn run(ctx: &ReproContext) -> ExperimentResult {
     }
     // Top-5 concentration (§4.3: >93%).
     let last = ctx.store.latest_snapshot().expect("data");
-    let shares = vmp_analytics::query::vh_share_by(ctx.store.at(last), cdn_dim);
+    let shares = vmp_analytics::columns::vh_share(&ctx.store, last, CDN);
     let top5: f64 = CdnName::MAJORS.iter().filter_map(|c| shares.get(c)).sum();
     result.checks.push(Check::in_range("§4.3: top-5 CDNs carry >93% of VH", top5, 88.0, 100.0));
     let distinct = shares.len();

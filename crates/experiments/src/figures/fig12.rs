@@ -4,7 +4,7 @@
 use crate::context::ReproContext;
 use crate::figures::helpers::{counts_figure, endpoints, share_with_at_least};
 use crate::result::{Check, ExperimentResult};
-use vmp_analytics::query::cdn_dim;
+use vmp_analytics::columns::CDN;
 use vmp_analytics::report::Table;
 use vmp_core::content::ContentClass;
 use vmp_core::time::SnapshotId;
@@ -12,7 +12,7 @@ use vmp_core::time::SnapshotId;
 /// Runs the Fig 12 regeneration.
 pub fn run(ctx: &ReproContext) -> ExperimentResult {
     let mut result = ExperimentResult::new("fig12", "Fig 12: CDNs per publisher");
-    let (hist, buckets, series) = counts_figure(&ctx.store, "CDNs", cdn_dim);
+    let (hist, buckets, series) = counts_figure(&ctx.store, "CDNs", CDN);
 
     // Paper: >40% of publishers single-CDN but <5% of VH; <10% of
     // publishers use 5 CDNs but carry >50% of VH; ≈80% of VH from 4-5-CDN
@@ -55,26 +55,34 @@ pub fn run(ctx: &ReproContext) -> ExperimentResult {
 /// publishers serving both content classes, measured from telemetry.
 fn segregation_stats(ctx: &ReproContext, snapshot: SnapshotId) -> (f64, f64) {
     use std::collections::BTreeMap;
-    use vmp_core::ids::{CdnId, PublisherId};
     #[derive(Default)]
     struct PubCdns {
-        /// cdn → (vod views, live views).
-        per_cdn: BTreeMap<CdnId, (u32, u32)>,
+        /// cdn bit (dense CDN index) → (vod views, live views).
+        per_cdn: BTreeMap<u8, (u32, u32)>,
         vod_total: u32,
         live_total: u32,
     }
-    let mut per_pub: BTreeMap<PublisherId, PubCdns> = BTreeMap::new();
-    for v in ctx.store.at(snapshot) {
-        let entry = per_pub.entry(v.view.record.publisher).or_default();
-        match v.view.record.class {
-            ContentClass::Vod => entry.vod_total += 1,
-            ContentClass::Live => entry.live_total += 1,
+    let Some(seg) = ctx.store.segment(snapshot) else {
+        return (0.0, 0.0);
+    };
+    let vod = ContentClass::Vod.code();
+    let mut per_pub: BTreeMap<u32, PubCdns> = BTreeMap::new();
+    for i in 0..seg.len() {
+        let entry = per_pub.entry(seg.publishers()[i]).or_default();
+        let is_vod = seg.classes()[i] == vod;
+        if is_vod {
+            entry.vod_total += 1;
+        } else {
+            entry.live_total += 1;
         }
-        for cdn in &v.view.record.cdns {
-            let counts = entry.per_cdn.entry(*cdn).or_default();
-            match v.view.record.class {
-                ContentClass::Vod => counts.0 += 1,
-                ContentClass::Live => counts.1 += 1,
+        let mut bits = seg.cdn_masks()[i];
+        while bits != 0 {
+            let counts = entry.per_cdn.entry(bits.trailing_zeros() as u8).or_default();
+            bits &= bits - 1;
+            if is_vod {
+                counts.0 += 1;
+            } else {
+                counts.1 += 1;
             }
         }
     }

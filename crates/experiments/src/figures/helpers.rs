@@ -1,9 +1,12 @@
 //! Shared plumbing for figure drivers.
+//!
+//! Everything here runs on the columnar kernel: a figure names a
+//! [`DimSpec`] instead of a row extractor, and any [`SegmentSource`] —
+//! the full store or a masked view — can back a series.
 
 use std::fmt::Display;
-use vmp_analytics::query;
+use vmp_analytics::columns::{self, DimSpec, SegmentSource, ShareMetric};
 use vmp_analytics::report::Series;
-use vmp_analytics::store::{ViewRef, ViewStore};
 
 /// Which share to plot over time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -21,28 +24,33 @@ pub enum ShareKind {
 pub const SUPPORT_FLOOR: f64 = 0.01;
 
 /// Builds a per-snapshot share series for a fixed set of dimension values.
-pub fn share_series<V: Ord + Clone + Display>(
-    store: &ViewStore,
+/// Snapshots are rolled up in parallel (one segment per worker) and lines
+/// assembled in fixed value/snapshot order.
+pub fn share_series<S, V>(
+    source: &S,
     title: &str,
     values: &[V],
-    extract: impl for<'a> Fn(&ViewRef<'a>) -> Vec<V> + Copy,
+    spec: DimSpec<V>,
     kind: ShareKind,
-) -> Series {
+) -> Series
+where
+    S: SegmentSource,
+    V: Ord + Clone + Display + Send,
+{
+    let metric = match kind {
+        ShareKind::Publishers => ShareMetric::Publishers { floor: SUPPORT_FLOOR },
+        ShareKind::ViewHours => ShareMetric::ViewHours,
+        ShareKind::Views => ShareMetric::Views,
+    };
+    let per_snapshot = columns::share_by_snapshot(source, spec, metric);
     let mut series = Series::new(title, "snapshot");
-    let snapshots = store.snapshots();
     for value in values {
-        let mut points = Vec::with_capacity(snapshots.len());
-        for snapshot in &snapshots {
-            let shares = match kind {
-                ShareKind::Publishers => {
-                    query::publisher_share_by(store.at(*snapshot), extract, SUPPORT_FLOOR)
-                }
-                ShareKind::ViewHours => query::vh_share_by(store.at(*snapshot), extract),
-                ShareKind::Views => query::views_share_by(store.at(*snapshot), extract),
-            };
-            let y = shares.get(value).copied().unwrap_or(0.0);
-            points.push((snapshot.to_string(), y));
-        }
+        let points = per_snapshot
+            .iter()
+            .map(|(snapshot, shares)| {
+                (snapshot.to_string(), shares.get(value).copied().unwrap_or(0.0))
+            })
+            .collect();
         series.line(value.to_string(), points);
     }
     series
@@ -52,18 +60,19 @@ pub fn share_series<V: Ord + Clone + Display>(
 /// (a) count histogram by % publishers / % view-hours,
 /// (b) count distribution bucketed by publisher view-hours,
 /// (c) average and weighted-average count per snapshot.
-pub fn counts_figure<V: Ord + Clone>(
-    store: &ViewStore,
+pub fn counts_figure<S: SegmentSource, V: Ord>(
+    source: &S,
     dim_name: &str,
-    extract: impl for<'a> Fn(&ViewRef<'a>) -> Vec<V> + Copy,
+    spec: DimSpec<V>,
 ) -> (vmp_analytics::report::Table, vmp_analytics::report::Table, Series) {
     use vmp_analytics::perpub::{
         count_histogram, counts_by_size_bucket, counts_per_publisher, CountsOverTime,
     };
     use vmp_analytics::report::Table;
 
-    let last = store.latest_snapshot().expect("store has data");
-    let counts = counts_per_publisher(store, last, extract, SUPPORT_FLOOR);
+    let last =
+        source.live_segments().last().map(|s| s.snapshot()).expect("store has data");
+    let counts = counts_per_publisher(source, last, spec, SUPPORT_FLOOR);
 
     let mut hist_table = Table::new(
         format!("(a) number of {dim_name} per publisher (last snapshot)"),
@@ -93,7 +102,7 @@ pub fn counts_figure<V: Ord + Clone>(
         bucket_table.row(vec![label, format!("{share:.1}"), dist_text]);
     }
 
-    let over_time = CountsOverTime::compute(store, extract, SUPPORT_FLOOR);
+    let over_time = CountsOverTime::compute(source, spec, SUPPORT_FLOOR);
     let mut series = Series::new(
         format!("(c) average number of {dim_name} per publisher over time"),
         "snapshot",
@@ -139,6 +148,7 @@ pub fn endpoints(series: &Series, line: &str) -> Option<(f64, f64)> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use vmp_analytics::store::ViewStore;
     use vmp_core::protocol::StreamingProtocol;
 
     #[test]
@@ -156,7 +166,7 @@ mod tests {
             &store,
             "t",
             &[StreamingProtocol::Hls],
-            vmp_analytics::query::protocol_dim,
+            vmp_analytics::columns::PROTOCOL,
             ShareKind::ViewHours,
         );
         assert_eq!(s.lines.len(), 1);

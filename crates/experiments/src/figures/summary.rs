@@ -3,8 +3,8 @@
 use crate::context::ReproContext;
 use crate::figures::helpers::SUPPORT_FLOOR;
 use crate::result::{Check, ExperimentResult};
+use vmp_analytics::columns::{vh_share, DimSpec, CDN, PLATFORM, PROTOCOL};
 use vmp_analytics::perpub::{count_histogram, counts_per_publisher};
-use vmp_analytics::query::{cdn_dim, platform_dim, protocol_dim, vh_share_by};
 use vmp_analytics::report::Table;
 use vmp_core::protocol::StreamingProtocol;
 
@@ -16,7 +16,7 @@ pub fn run(ctx: &ReproContext) -> ExperimentResult {
     let mut table = Table::new("Headline aggregates (last snapshot)", vec!["statistic", "value"]);
 
     // "No single alternative dominates": HLS and DASH roughly even by VH.
-    let vh = vh_share_by(ctx.store.at(last), protocol_dim);
+    let vh = vh_share(&ctx.store, last, PROTOCOL);
     let hls = vh.get(&StreamingProtocol::Hls).copied().unwrap_or(0.0);
     let dash = vh.get(&StreamingProtocol::Dash).copied().unwrap_or(0.0);
     table.row(vec!["HLS % of VH".into(), format!("{hls:.1}")]);
@@ -29,9 +29,9 @@ pub fn run(ctx: &ReproContext) -> ExperimentResult {
 
     // ">90% of VH from publishers with >1 protocol / CDN / platform".
     for (name, vh_multi) in [
-        ("protocols", multi_vh(ctx, last, protocol_dim)),
-        ("CDNs", multi_vh(ctx, last, cdn_dim)),
-        ("platforms", multi_vh(ctx, last, platform_dim)),
+        ("protocols", multi_vh(ctx, last, PROTOCOL)),
+        ("CDNs", multi_vh(ctx, last, CDN)),
+        ("platforms", multi_vh(ctx, last, PLATFORM)),
     ] {
         table.row(vec![format!("% of VH from multi-{name} publishers"), format!("{vh_multi:.1}")]);
         result.checks.push(Check::in_range(
@@ -44,9 +44,9 @@ pub fn run(ctx: &ReproContext) -> ExperimentResult {
 
     // Weighted average counts: protocols 2.2, CDNs 4.5, platforms 4.5.
     for (name, expected, lo, hi, w) in [
-        ("protocols", 2.2, 1.9, 2.8, weighted_avg(ctx, last, protocol_dim)),
-        ("CDNs", 4.5, 3.7, 5.0, weighted_avg(ctx, last, cdn_dim)),
-        ("platforms", 4.5, 3.8, 5.0, weighted_avg(ctx, last, platform_dim)),
+        ("protocols", 2.2, 1.9, 2.8, weighted_avg(ctx, last, PROTOCOL)),
+        ("CDNs", 4.5, 3.7, 5.0, weighted_avg(ctx, last, CDN)),
+        ("platforms", 4.5, 3.8, 5.0, weighted_avg(ctx, last, PLATFORM)),
     ] {
         table.row(vec![format!("weighted avg # {name}"), format!("{w:.2} (paper {expected})")]);
         result.checks.push(Check::in_range(
@@ -61,22 +61,18 @@ pub fn run(ctx: &ReproContext) -> ExperimentResult {
     result
 }
 
-fn multi_vh<'a, V: Ord + Clone>(
-    ctx: &'a ReproContext,
-    last: vmp_core::time::SnapshotId,
-    extract: impl for<'b> Fn(&vmp_analytics::store::ViewRef<'b>) -> Vec<V> + Copy,
-) -> f64 {
-    let counts = counts_per_publisher(&ctx.store, last, extract, SUPPORT_FLOOR);
+fn multi_vh<V: Ord>(ctx: &ReproContext, last: vmp_core::time::SnapshotId, spec: DimSpec<V>) -> f64 {
+    let counts = counts_per_publisher(&ctx.store, last, spec, SUPPORT_FLOOR);
     let hist = count_histogram(&counts);
     hist.iter().filter(|(c, _)| **c >= 2).map(|(_, (_, vh))| vh).sum()
 }
 
-fn weighted_avg<'a, V: Ord + Clone>(
-    ctx: &'a ReproContext,
+fn weighted_avg<V: Ord>(
+    ctx: &ReproContext,
     last: vmp_core::time::SnapshotId,
-    extract: impl for<'b> Fn(&vmp_analytics::store::ViewRef<'b>) -> Vec<V> + Copy,
+    spec: DimSpec<V>,
 ) -> f64 {
-    let counts = counts_per_publisher(&ctx.store, last, extract, SUPPORT_FLOOR);
+    let counts = counts_per_publisher(&ctx.store, last, spec, SUPPORT_FLOOR);
     let total: f64 = counts.iter().map(|c| c.view_hours).sum();
     if total <= 0.0 {
         return 0.0;

@@ -7,9 +7,9 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use vmp_core::ids::PublisherId;
-use vmp_core::view::OwnershipFlag;
 use vmp_stats::Cdf;
 
+use vmp_analytics::columns::NO_OWNER;
 use vmp_analytics::store::ViewStore;
 
 /// Per-owner syndicator reach measured from telemetry.
@@ -47,16 +47,23 @@ pub fn syndication_reach(store: &ViewStore) -> SyndicationReach {
     let mut owner_to_syndicators: BTreeMap<PublisherId, BTreeSet<PublisherId>> = BTreeMap::new();
     let mut owners: BTreeSet<PublisherId> = BTreeSet::new();
 
-    for v in store.all() {
-        match v.view.record.ownership {
-            OwnershipFlag::Owned => {
-                owners.insert(v.view.record.publisher);
-            }
-            OwnershipFlag::Syndicated { owner } => {
-                let serving = v.view.record.publisher;
-                syndicators.insert(serving);
-                owners.insert(owner);
-                owner_to_syndicators.entry(owner).or_default().insert(serving);
+    // Column scan: the owner column carries `NO_OWNER` for owned views and
+    // the owning publisher's raw id for syndicated ones.
+    for seg in store.segments() {
+        let pubs = seg.publishers();
+        let owner_col = seg.owners();
+        for i in 0..seg.len() {
+            match owner_col[i] {
+                NO_OWNER => {
+                    owners.insert(PublisherId::new(pubs[i]));
+                }
+                owner_raw => {
+                    let serving = PublisherId::new(pubs[i]);
+                    let owner = PublisherId::new(owner_raw);
+                    syndicators.insert(serving);
+                    owners.insert(owner);
+                    owner_to_syndicators.entry(owner).or_default().insert(serving);
+                }
             }
         }
     }
@@ -84,7 +91,7 @@ pub fn syndication_reach(store: &ViewStore) -> SyndicationReach {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vmp_core::view::SampledView;
+    use vmp_core::view::{OwnershipFlag, SampledView};
 
     fn view(publisher: u32, ownership: OwnershipFlag) -> SampledView {
         use vmp_core::content::ContentClass;

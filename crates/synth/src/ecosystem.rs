@@ -194,6 +194,14 @@ impl Dataset {
         self.profiles.get(id.index())
     }
 
+    /// Moves the sampled views out — for handing to analytics ingest by
+    /// move instead of cloning the whole batch. Profiles, graph and
+    /// snapshot list stay behind; [`views_at`](Self::views_at) yields
+    /// nothing afterwards.
+    pub fn take_views(&mut self) -> Vec<SampledView> {
+        std::mem::take(&mut self.views)
+    }
+
     /// Views belonging to one snapshot.
     pub fn views_at(&self, snapshot: SnapshotId) -> impl Iterator<Item = &SampledView> {
         self.views.iter().filter(move |v| v.record.snapshot == snapshot)

@@ -6,15 +6,15 @@
 //! cargo run --release --example ecosystem_report
 //! ```
 
+use vmp::analytics::columns::{publisher_share, vh_share, CDN, PLATFORM, PROTOCOL};
 use vmp::analytics::perpub::{count_histogram, counts_per_publisher};
-use vmp::analytics::query::{cdn_dim, platform_dim, protocol_dim, publisher_share_by, vh_share_by};
 use vmp::analytics::store::ViewStore;
 use vmp::synth::ecosystem::{Dataset, EcosystemConfig};
 
 fn main() {
     let started = std::time::Instant::now();
-    let dataset = Dataset::generate(EcosystemConfig::small());
-    let store = ViewStore::ingest(dataset.views.clone());
+    let mut dataset = Dataset::generate(EcosystemConfig::small());
+    let store = ViewStore::ingest(dataset.take_views());
     let last = store.latest_snapshot().expect("dataset has views");
     println!(
         "generated {} publishers / {} weighted samples in {:.1}s; reporting {last}",
@@ -24,29 +24,29 @@ fn main() {
     );
 
     println!("\n-- protocol support (% of publishers) --");
-    for (proto, share) in publisher_share_by(store.at(last), protocol_dim, 0.01) {
+    for (proto, share) in publisher_share(&store, last, PROTOCOL, 0.01) {
         println!("  {proto:<12} {share:5.1}%");
     }
 
     println!("\n-- view-hours by protocol --");
-    for (proto, share) in vh_share_by(store.at(last), protocol_dim) {
+    for (proto, share) in vh_share(&store, last, PROTOCOL) {
         println!("  {proto:<12} {share:5.1}%");
     }
 
     println!("\n-- view-hours by platform --");
-    for (platform, share) in vh_share_by(store.at(last), platform_dim) {
+    for (platform, share) in vh_share(&store, last, PLATFORM) {
         println!("  {platform:<12} {share:5.1}%");
     }
 
     println!("\n-- view-hours by CDN --");
-    for (cdn, share) in vh_share_by(store.at(last), cdn_dim) {
+    for (cdn, share) in vh_share(&store, last, CDN) {
         if share >= 1.0 {
             println!("  {cdn:<12} {share:5.1}%");
         }
     }
 
     println!("\n-- CDNs per publisher --");
-    let counts = counts_per_publisher(&store, last, cdn_dim, 0.01);
+    let counts = counts_per_publisher(&store, last, CDN, 0.01);
     for (count, (pubs, vh)) in count_histogram(&counts) {
         println!("  {count} CDN(s): {pubs:5.1}% of publishers, {vh:5.1}% of view-hours");
     }

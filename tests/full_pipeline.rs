@@ -33,6 +33,33 @@ fn every_figure_and_table_reproduces() {
     );
 }
 
+/// All 19 experiments must pass every check AND print identical tables and
+/// series across two independently generated contexts: the columnar store's
+/// snapshot-parallel rollups are required to be fully deterministic, so a
+/// rebuild of the whole pipeline reproduces the artifacts byte for byte.
+#[test]
+fn printed_artifacts_are_identical_across_rebuilds() {
+    let render_all = || {
+        let ctx = ReproContext::new(Scale::Quick);
+        ALL_EXPERIMENTS
+            .iter()
+            .map(|id| {
+                let mut result = run(id, &ctx).expect("registered experiment");
+                assert!(
+                    result.all_passed(),
+                    "[{id}] failed checks: {:?}",
+                    result.failures()
+                );
+                // Wall time and stage timings legitimately vary run to run.
+                result.wall_time_secs = 0.0;
+                result.stages.clear();
+                result.to_string()
+            })
+            .collect::<Vec<String>>()
+    };
+    assert_eq!(render_all(), render_all());
+}
+
 #[test]
 fn ablations_reproduce() {
     let ctx = ReproContext::new(Scale::Quick);
