@@ -1,0 +1,60 @@
+//! Health-plane ingest cost: one finished view through
+//! [`HealthMonitor::observe`], including the amortized per-tick detector
+//! evaluation a real stream pays. The acceptance bar is 200 ns/view
+//! (`monitor/ingest_view`); numbers land in `results/BENCH_results.json`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vmp_core::cdn::CdnName;
+use vmp_core::units::Seconds;
+use vmp_monitor::{HealthMonitor, ViewEnd};
+
+/// A plausible completed view; varied per call so cells, publishers, and
+/// window buckets all see rotation like a live stream's.
+fn view(i: u64) -> ViewEnd {
+    let fatal = i.is_multiple_of(97);
+    ViewEnd {
+        cdn: [CdnName::A, CdnName::B, CdnName::C][(i % 3) as usize],
+        region: Some(((i / 3) % 3) as usize),
+        publisher: Some(i % 8),
+        // ~2000 views per 60 s tick: evaluation cost is amortized exactly as
+        // it is on a live completion stream.
+        end_clock: Seconds(i as f64 * 0.03),
+        played: if fatal { 0.0 } else { 240.0 },
+        rebuffer: if fatal { 0.0 } else { (i % 7) as f64 },
+        bitrate_kbps: if fatal { 0.0 } else { 2000.0 + (i % 5) as f64 * 300.0 },
+        retries: i.is_multiple_of(4) as u32,
+        fatal,
+        join_failed: fatal,
+    }
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("monitor");
+    group.sample_size(30);
+
+    group.bench_function("ingest_view", |b| {
+        let mut monitor = HealthMonitor::with_defaults();
+        let mut i = 0u64;
+        b.iter(|| {
+            monitor.observe(black_box(&view(i)));
+            i += 1;
+        });
+    });
+
+    group.bench_function("ingest_view_unregioned", |b| {
+        let mut monitor = HealthMonitor::with_defaults();
+        let mut i = 0u64;
+        b.iter(|| {
+            let mut v = view(i);
+            v.region = None;
+            v.publisher = None;
+            monitor.observe(black_box(&v));
+            i += 1;
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(monitor_ingest, bench_ingest);
+criterion_main!(monitor_ingest);

@@ -2,15 +2,18 @@
 //!
 //! Usage:
 //! ```text
-//! repro [--quick] [--seed N] [--experiment ID] [--json PATH] [--metrics PATH] [ID ...]
+//! repro [--quick] [--seed N] [--experiment ID] [--json PATH] [--metrics PATH] [--trace PATH] [ID ...]
 //! ```
 //! With no IDs, runs everything in paper order. `--quick` uses the reduced
 //! ecosystem (CI-sized); the default is the full EXPERIMENTS.md run.
 //! `--seed N` overrides the master seed; `--experiment ID` is equivalent to
 //! a bare ID; `--metrics PATH` dumps a JSON snapshot of the observability
 //! registry (counters, histograms with p50/p90/p99, recent pipeline events)
-//! after the run. When every requested ID is standalone (ablations and
-//! scenarios such as `resilience`), the ecosystem is not generated at all.
+//! after the run; `--trace PATH` records every span, monitor window sample,
+//! and alert as Chrome `trace_event` JSON (load it at `chrome://tracing` or
+//! <https://ui.perfetto.dev>). When every requested ID is standalone
+//! (ablations and scenarios such as `resilience` or `monitor`), the
+//! ecosystem is not generated at all.
 
 use vmp_experiments::{
     is_standalone, run, run_standalone, ReproContext, Scale, ABLATIONS, ALL_EXPERIMENTS, SCENARIOS,
@@ -20,6 +23,7 @@ fn main() {
     let mut scale = Scale::Full;
     let mut json_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
     let mut seed: Option<u64> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -48,6 +52,13 @@ fn main() {
                     std::process::exit(2);
                 }
             }
+            "--trace" => {
+                trace_path = args.next();
+                if trace_path.is_none() {
+                    eprintln!("--trace requires a path");
+                    std::process::exit(2);
+                }
+            }
             "--seed" => {
                 seed = match args.next().map(|s| s.parse::<u64>()) {
                     Some(Ok(n)) => Some(n),
@@ -59,7 +70,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: repro [--quick] [--seed N] [--experiment ID] [--ablations] [--json PATH] [--metrics PATH] [ID ...]"
+                    "usage: repro [--quick] [--seed N] [--experiment ID] [--ablations] [--json PATH] [--metrics PATH] [--trace PATH] [ID ...]"
                 );
                 eprintln!("experiments: {}", ALL_EXPERIMENTS.join(" "));
                 eprintln!("ablations:   {}", ABLATIONS.join(" "));
@@ -85,6 +96,12 @@ fn main() {
             );
             std::process::exit(2);
         }
+    }
+
+    // Tracing must be armed before any work runs so the collector sees
+    // every span and monitor sample from the start.
+    if trace_path.is_some() {
+        vmp_obs::set_tracing(true);
     }
 
     let started = std::time::Instant::now();
@@ -150,6 +167,20 @@ fn main() {
             snapshot.counters.len(),
             snapshot.histograms.len(),
             snapshot.events.len()
+        );
+    }
+
+    if let Some(path) = trace_path {
+        let json = vmp_obs::chrome_trace_json();
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("cannot write --trace output to {path}: {e}");
+            std::process::exit(2);
+        }
+        let dropped = vmp_obs::trace_dropped();
+        eprintln!(
+            "wrote {path} ({} trace events{})",
+            vmp_obs::trace_events().len(),
+            if dropped > 0 { format!(", {dropped} dropped at capacity") } else { String::new() }
         );
     }
 

@@ -28,6 +28,8 @@ use vmp_core::geo::ConnectionType;
 use vmp_core::ladder::BitrateLadder;
 use vmp_core::units::{Bytes, Seconds};
 use vmp_faults::{BreakerConfig, FaultInjector, FaultProfile, RetryPolicy};
+use vmp_monitor::HealthMonitor;
+use vmp_session::hooks::{CompletionSink, SessionEnd};
 use vmp_session::player::{
     infrastructure_fn, ExitCause, MultiCdnContext, PlaybackConfig, Player,
 };
@@ -53,6 +55,11 @@ struct ArmStats {
     /// FNV-1a over every session's outcome summary: byte-identical runs
     /// produce identical fingerprints.
     fingerprint: u64,
+    /// Alerts the streaming health plane raised over this arm's completion
+    /// stream (passive tap — the monitor never perturbs sessions).
+    monitor_alerts: usize,
+    /// Top-ranked culprit behind those alerts, if any.
+    monitor_culprit: Option<String>,
 }
 
 impl ArmStats {
@@ -128,8 +135,11 @@ fn run_arm(
         cdn_switches: 0,
         fatal_by_bucket: vec![0.0; buckets.max(1)],
         fingerprint: 0xcbf2_9ce4_8422_2325,
+        monitor_alerts: 0,
+        monitor_culprit: None,
     };
 
+    let mut ends: Vec<SessionEnd> = Vec::with_capacity(SESSIONS);
     for i in 0..SESSIONS {
         let mut rng = Rng::seed_from(seed ^ 0x5111_E27C).fork(i as u64);
         let network =
@@ -178,7 +188,31 @@ fn run_arm(
             out.cdns,
         );
         stats.fingerprint = fnv1a(stats.fingerprint, summary.as_bytes());
+        ends.push(SessionEnd::new(out).in_region(i % REGIONS));
     }
+
+    // Passive health-plane tap: stream the completions into a monitor in
+    // fault-clock end order (the order a central collector sees). With a
+    // 20-minute session length the first completions already carry fault
+    // damage, so no pre-incident baseline exists and the faulted arms are
+    // reported, not graded — the `monitor` scenario does the grading with a
+    // population shaped for it. The clean arm must stay silent.
+    let mut order: Vec<usize> = (0..ends.len()).collect();
+    order.sort_by(|a, b| {
+        ends[*a]
+            .end_clock()
+            .0
+            .partial_cmp(&ends[*b].end_clock().0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(b))
+    });
+    let mut monitor = HealthMonitor::with_defaults();
+    for i in order {
+        monitor.on_session_end(&ends[i]);
+    }
+    monitor.finish();
+    stats.monitor_alerts = monitor.alerts().len();
+    stats.monitor_culprit = monitor.culprits().first().map(|c| c.describe());
     stats
 }
 
@@ -221,6 +255,19 @@ pub fn run(seed: u64) -> ExperimentResult {
         ]);
     }
     result.tables.push(table.clone());
+
+    let mut health = Table::new(
+        "Health-plane tap: alerts over each arm's completion stream",
+        vec!["arm", "alerts", "top culprit"],
+    );
+    for arm in [&disabled, &enabled, &clean] {
+        health.row(vec![
+            arm.label.to_string(),
+            arm.monitor_alerts.to_string(),
+            arm.monitor_culprit.clone().unwrap_or_else(|| "-".to_string()),
+        ]);
+    }
+    result.tables.push(health);
 
     let mut series = Series::new(
         "Fatal sessions per start-offset bucket (fault-timeline seconds)",
@@ -280,6 +327,17 @@ pub fn run(seed: u64) -> ExperimentResult {
             "clean arm: {} fatal, {} retries, {} timeouts",
             clean.fatal, clean.retries, clean.timeouts
         ),
+    ));
+    result.checks.push(Check::new(
+        "health plane stays silent on the fault-free arm",
+        clean.monitor_alerts == 0,
+        format!("{} alerts over the clean completion stream", clean.monitor_alerts),
+    ));
+    result.checks.push(Check::new(
+        "health plane localizes the brownout without failover",
+        disabled.monitor_alerts > 0
+            && disabled.monitor_culprit.as_deref().is_some_and(|c| c.starts_with("cdn=A")),
+        disabled.monitor_culprit.clone().unwrap_or_else(|| "no culprit ranked".to_string()),
     ));
 
     result.notes.push(format!(

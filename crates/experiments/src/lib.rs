@@ -31,8 +31,9 @@ pub const ALL_EXPERIMENTS: [&str; 19] = [
 pub const ABLATIONS: [&str; 4] = ["abl-abr", "abl-dedup", "abl-broker", "abl-live"];
 
 /// Scenario experiments: dedicated simulations (fault injection,
-/// resilience) that need only a seed, not the generated ecosystem.
-pub const SCENARIOS: [&str; 1] = ["resilience"];
+/// resilience, health monitoring) that need only a seed, not the generated
+/// ecosystem.
+pub const SCENARIOS: [&str; 2] = ["resilience", "monitor"];
 
 /// Whether an experiment can run without the generated ecosystem (`repro`
 /// skips the expensive dataset build when every requested ID is
@@ -44,18 +45,30 @@ pub fn is_standalone(id: &str) -> bool {
 /// Runs one experiment by ID, stamping wall time and the per-stage latency
 /// breakdown (from global-registry histogram deltas) onto the result.
 pub fn run(id: &str, ctx: &ReproContext) -> Option<ExperimentResult> {
-    timed(|| dispatch(id, ctx))
+    timed(id, || dispatch(id, ctx))
 }
 
 /// Runs a standalone (ecosystem-free) experiment by ID with the given
 /// master seed. Returns `None` for unknown or ecosystem-bound IDs.
 pub fn run_standalone(id: &str, seed: u64) -> Option<ExperimentResult> {
-    timed(|| dispatch_standalone(id, seed))
+    timed(id, || dispatch_standalone(id, seed))
 }
 
-fn timed(f: impl FnOnce() -> Option<ExperimentResult>) -> Option<ExperimentResult> {
+/// The interned `'static` form of a known experiment ID, so per-experiment
+/// trace slices can reuse the span API (span names are `&'static str`).
+fn static_id(id: &str) -> Option<&'static str> {
+    ALL_EXPERIMENTS
+        .iter()
+        .chain(ABLATIONS.iter())
+        .chain(SCENARIOS.iter())
+        .find(|&&known| known == id)
+        .copied()
+}
+
+fn timed(id: &str, f: impl FnOnce() -> Option<ExperimentResult>) -> Option<ExperimentResult> {
     let before = vmp_obs::snapshot();
     let started = std::time::Instant::now();
+    let _slice = static_id(id).map(vmp_obs::span);
     let mut result = f()?;
     result.wall_time_secs = started.elapsed().as_secs_f64();
     result.stages = stage_breakdown(&before, &vmp_obs::snapshot());
@@ -88,6 +101,7 @@ fn dispatch_standalone(id: &str, seed: u64) -> Option<ExperimentResult> {
         "abl-broker" => Some(figures::ablations::run_broker()),
         "abl-live" => Some(figures::ablations::run_live_latency()),
         "resilience" => Some(figures::resilience::run(seed)),
+        "monitor" => Some(figures::monitor::run(seed)),
         _ => None,
     }
 }

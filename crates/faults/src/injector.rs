@@ -81,8 +81,13 @@ impl FaultInjector {
 
     /// Whether a hard outage of `cdn` is active at `t`; counted when it is.
     pub fn outage(&self, cdn: CdnName, t: Seconds) -> bool {
+        self.outage_in(cdn, None, t)
+    }
+
+    /// Region-scoped variant of [`outage`](Self::outage).
+    pub fn outage_in(&self, cdn: CdnName, region: Option<usize>, t: Seconds) -> bool {
         self.announce(t);
-        let hit = self.profile.outage_active(cdn, t);
+        let hit = self.profile.outage_active_in(cdn, region, t);
         if hit {
             self.injected.inc();
             self.outages.inc();
@@ -92,7 +97,12 @@ impl FaultInjector {
 
     /// Throughput multiplier for `cdn` at `t`; counted when degraded.
     pub fn throughput_factor(&self, cdn: CdnName, t: Seconds) -> f64 {
-        let factor = self.profile.throughput_factor(cdn, t);
+        self.throughput_factor_in(cdn, None, t)
+    }
+
+    /// Region-scoped variant of [`throughput_factor`](Self::throughput_factor).
+    pub fn throughput_factor_in(&self, cdn: CdnName, region: Option<usize>, t: Seconds) -> f64 {
+        let factor = self.profile.throughput_factor_in(cdn, region, t);
         if factor < 1.0 {
             self.injected.inc();
             self.degraded.inc();
@@ -102,7 +112,18 @@ impl FaultInjector {
 
     /// Whether an origin fetch fails at `t`; counted when it does.
     pub fn origin_error(&self, cdn: CdnName, t: Seconds, rng: &mut Rng) -> bool {
-        let hit = self.profile.origin_error(cdn, t, rng);
+        self.origin_error_in(cdn, None, t, rng)
+    }
+
+    /// Region-scoped variant of [`origin_error`](Self::origin_error).
+    pub fn origin_error_in(
+        &self,
+        cdn: CdnName,
+        region: Option<usize>,
+        t: Seconds,
+        rng: &mut Rng,
+    ) -> bool {
+        let hit = self.profile.origin_error_in(cdn, region, t, rng);
         if hit {
             self.injected.inc();
             self.origin_errors.inc();
@@ -123,7 +144,18 @@ impl FaultInjector {
 
     /// Whether an edge flush fires in `(since, until]`; counted when it does.
     pub fn cache_flush_between(&self, cdn: CdnName, since: Seconds, until: Seconds) -> bool {
-        let hit = self.profile.cache_flush_between(cdn, since, until);
+        self.cache_flush_between_in(cdn, None, since, until)
+    }
+
+    /// Region-scoped variant of [`cache_flush_between`](Self::cache_flush_between).
+    pub fn cache_flush_between_in(
+        &self,
+        cdn: CdnName,
+        region: Option<usize>,
+        since: Seconds,
+        until: Seconds,
+    ) -> bool {
+        let hit = self.profile.cache_flush_between_in(cdn, region, since, until);
         if hit {
             self.injected.inc();
             self.cache_flushes.inc();

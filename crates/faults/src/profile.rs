@@ -50,13 +50,16 @@ impl FaultKind {
     }
 }
 
-/// One scheduled incident: a kind, a target CDN (or all CDNs), and a
-/// half-open activity interval `[start, start + duration)` on the fault
-/// timeline.
+/// One scheduled incident: a kind, a target CDN (or all CDNs), an optional
+/// edge-region scope, and a half-open activity interval
+/// `[start, start + duration)` on the fault timeline.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultWindow {
     /// The affected CDN; `None` hits every CDN (a region-wide event).
     pub cdn: Option<CdnName>,
+    /// The affected edge region (the `region_index` the session is served
+    /// from); `None` hits every region of the target CDN.
+    pub region: Option<usize>,
     /// What happens.
     pub kind: FaultKind,
     /// When it starts (virtual seconds).
@@ -71,9 +74,23 @@ impl FaultWindow {
         t.0 >= self.start.0 && t.0 < self.start.0 + self.duration.0
     }
 
-    /// Whether the window targets `cdn`.
+    /// Whether the window targets `cdn`, irrespective of region. Callers
+    /// that do not track edge regions (single-CDN `play_with`, manifest
+    /// fetches) use this and therefore see region-scoped windows too — a
+    /// conservative reading that keeps region-blind paths safe.
     pub fn applies_to(&self, cdn: CdnName) -> bool {
         self.cdn.is_none_or(|c| c == cdn)
+    }
+
+    /// Whether the window targets `cdn` as served from edge region
+    /// `region`. `None` means the caller's region is unknown, which matches
+    /// every window (same conservative reading as [`applies_to`](Self::applies_to)).
+    pub fn applies_in(&self, cdn: CdnName, region: Option<usize>) -> bool {
+        self.applies_to(cdn)
+            && match (self.region, region) {
+                (Some(scoped), Some(actual)) => scoped == actual,
+                _ => true,
+            }
     }
 
     /// End of the window on the fault timeline.
@@ -135,20 +152,32 @@ impl FaultProfile {
         Seconds(self.windows.iter().map(|w| w.end().0).fold(0.0, f64::max))
     }
 
-    /// Whether a hard outage of `cdn` is active at `t`.
+    /// Whether a hard outage of `cdn` is active at `t` (region-blind: sees
+    /// region-scoped windows too).
     pub fn outage_active(&self, cdn: CdnName, t: Seconds) -> bool {
+        self.outage_active_in(cdn, None, t)
+    }
+
+    /// Whether a hard outage of `cdn` as served from `region` is active at
+    /// `t`. `region: None` means "region unknown" and matches every window.
+    pub fn outage_active_in(&self, cdn: CdnName, region: Option<usize>, t: Seconds) -> bool {
         self.windows.iter().any(|w| {
-            matches!(w.kind, FaultKind::Outage) && w.applies_to(cdn) && w.active_at(t)
+            matches!(w.kind, FaultKind::Outage) && w.applies_in(cdn, region) && w.active_at(t)
         })
     }
 
     /// Combined throughput multiplier for `cdn` at `t` (product of all
     /// active degradation windows; `1.0` when none, floored at `0.01`).
     pub fn throughput_factor(&self, cdn: CdnName, t: Seconds) -> f64 {
+        self.throughput_factor_in(cdn, None, t)
+    }
+
+    /// Region-scoped variant of [`throughput_factor`](Self::throughput_factor).
+    pub fn throughput_factor_in(&self, cdn: CdnName, region: Option<usize>, t: Seconds) -> f64 {
         let mut factor = 1.0;
         for w in &self.windows {
             if let FaultKind::DegradedThroughput { factor: f } = w.kind {
-                if w.applies_to(cdn) && w.active_at(t) {
+                if w.applies_in(cdn, region) && w.active_at(t) {
                     factor *= f;
                 }
             }
@@ -159,7 +188,18 @@ impl FaultProfile {
     /// Whether an origin fetch for `cdn` at `t` fails. Draws from `rng`
     /// only while at least one burst window is active.
     pub fn origin_error(&self, cdn: CdnName, t: Seconds, rng: &mut Rng) -> bool {
-        let p = self.combined_rate(cdn, t, |kind| match kind {
+        self.origin_error_in(cdn, None, t, rng)
+    }
+
+    /// Region-scoped variant of [`origin_error`](Self::origin_error).
+    pub fn origin_error_in(
+        &self,
+        cdn: CdnName,
+        region: Option<usize>,
+        t: Seconds,
+        rng: &mut Rng,
+    ) -> bool {
+        let p = self.combined_rate(cdn, region, t, |kind| match kind {
             FaultKind::OriginErrorBurst { error_rate } => Some(error_rate),
             _ => None,
         });
@@ -169,7 +209,7 @@ impl FaultProfile {
     /// Whether a manifest fetch from `cdn` at `t` fails. Draws from `rng`
     /// only while at least one failure window is active.
     pub fn manifest_failure(&self, cdn: CdnName, t: Seconds, rng: &mut Rng) -> bool {
-        let p = self.combined_rate(cdn, t, |kind| match kind {
+        let p = self.combined_rate(cdn, None, t, |kind| match kind {
             FaultKind::ManifestFailure { failure_rate } => Some(failure_rate),
             _ => None,
         });
@@ -179,9 +219,20 @@ impl FaultProfile {
     /// Whether an edge-cache flush of `cdn` fires in the interval
     /// `(since, until]` (flushes are instants at their window start).
     pub fn cache_flush_between(&self, cdn: CdnName, since: Seconds, until: Seconds) -> bool {
+        self.cache_flush_between_in(cdn, None, since, until)
+    }
+
+    /// Region-scoped variant of [`cache_flush_between`](Self::cache_flush_between).
+    pub fn cache_flush_between_in(
+        &self,
+        cdn: CdnName,
+        region: Option<usize>,
+        since: Seconds,
+        until: Seconds,
+    ) -> bool {
         self.windows.iter().any(|w| {
             matches!(w.kind, FaultKind::EdgeCacheFlush)
-                && w.applies_to(cdn)
+                && w.applies_in(cdn, region)
                 && w.start.0 > since.0
                 && w.start.0 <= until.0
         })
@@ -192,13 +243,33 @@ impl FaultProfile {
         self.windows.iter().filter(|w| w.active_at(t)).collect()
     }
 
+    /// The same plan pushed `delta` seconds later on the fault timeline.
+    /// Used by monitoring scenarios to buy the detectors a clean baseline
+    /// period before the first incident lands.
+    pub fn shifted(&self, delta: Seconds) -> FaultProfile {
+        assert!(delta.0 >= 0.0, "shift must be non-negative");
+        FaultProfile {
+            windows: self
+                .windows
+                .iter()
+                .map(|w| FaultWindow { start: Seconds(w.start.0 + delta.0), ..*w })
+                .collect(),
+        }
+    }
+
     /// Combines the rates of all matching active windows into one failure
     /// probability: `1 - Π(1 - rate)` (independent failure sources).
-    fn combined_rate(&self, cdn: CdnName, t: Seconds, pick: impl Fn(FaultKind) -> Option<f64>) -> f64 {
+    fn combined_rate(
+        &self,
+        cdn: CdnName,
+        region: Option<usize>,
+        t: Seconds,
+        pick: impl Fn(FaultKind) -> Option<f64>,
+    ) -> f64 {
         let mut survive = 1.0;
         for w in &self.windows {
             if let Some(rate) = pick(w.kind) {
-                if w.applies_to(cdn) && w.active_at(t) {
+                if w.applies_in(cdn, region) && w.active_at(t) {
                     survive *= 1.0 - rate;
                 }
             }
@@ -253,7 +324,16 @@ impl FaultProfileBuilder {
     fn push(mut self, cdn: Option<CdnName>, kind: FaultKind, start: Seconds, duration: Seconds) -> Self {
         assert!(start.0 >= 0.0, "fault window start must be non-negative");
         assert!(duration.0 >= 0.0, "fault window duration must be non-negative");
-        self.windows.push(FaultWindow { cdn, kind, start, duration });
+        self.windows.push(FaultWindow { cdn, region: None, kind, start, duration });
+        self
+    }
+
+    /// Scopes the most recently added window to one edge region (the
+    /// `region_index` sessions are served from). Panics when no window has
+    /// been added yet.
+    pub fn in_region(mut self, region: usize) -> Self {
+        let last = self.windows.last_mut().expect("in_region needs a preceding window");
+        last.region = Some(region);
         self
     }
 
@@ -394,5 +474,45 @@ mod tests {
     #[should_panic(expected = "degrade factor")]
     fn invalid_degrade_factor_panics() {
         let _ = FaultProfile::builder().degrade(CdnName::A, Seconds(0.0), Seconds(1.0), 1.5);
+    }
+
+    #[test]
+    fn region_scoped_windows_miss_other_regions_but_hit_blind_callers() {
+        let p = FaultProfile::builder()
+            .outage(CdnName::A, Seconds(0.0), Seconds(100.0))
+            .in_region(2)
+            .build();
+        // Region-aware queries respect the scope.
+        assert!(p.outage_active_in(CdnName::A, Some(2), Seconds(50.0)));
+        assert!(!p.outage_active_in(CdnName::A, Some(1), Seconds(50.0)));
+        assert!(!p.outage_active_in(CdnName::B, Some(2), Seconds(50.0)));
+        // Region-blind queries conservatively match scoped windows.
+        assert!(p.outage_active(CdnName::A, Seconds(50.0)));
+    }
+
+    #[test]
+    fn region_scoped_rates_do_not_touch_rng_elsewhere() {
+        let p = FaultProfile::builder()
+            .origin_errors(CdnName::A, Seconds(0.0), Seconds(100.0), 0.9)
+            .in_region(0)
+            .build();
+        let mut rng = Rng::seed_from(3);
+        let before = rng.clone();
+        assert!(!p.origin_error_in(CdnName::A, Some(1), Seconds(50.0), &mut rng));
+        assert_eq!(rng, before, "mismatched region must not consume RNG state");
+        let _ = p.origin_error_in(CdnName::A, Some(0), Seconds(50.0), &mut rng);
+        assert_ne!(rng, before);
+    }
+
+    #[test]
+    fn shifted_moves_every_window_and_preserves_shape() {
+        let base = FaultProfile::cdn_brownout(CdnName::B);
+        let moved = base.shifted(Seconds(600.0));
+        assert_eq!(moved.windows().len(), base.windows().len());
+        assert!((moved.horizon().0 - (base.horizon().0 + 600.0)).abs() < 1e-9);
+        assert!(!moved.outage_active(CdnName::B, Seconds(800.0)));
+        assert!(moved.outage_active(CdnName::B, Seconds(1400.0)));
+        // Zero shift is the identity.
+        assert_eq!(base.shifted(Seconds::ZERO), base);
     }
 }

@@ -1,0 +1,223 @@
+//! Typed anomaly alerts.
+
+use std::fmt;
+
+use vmp_core::units::Seconds;
+
+use crate::cell::Cell;
+use crate::window::WindowStats;
+
+/// Which health metric a detector watches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Metric {
+    /// Stall time over stall-plus-play time.
+    RebufferRatio,
+    /// Fraction of views exiting with budgets exhausted.
+    FatalExitRate,
+    /// Fraction of views that never showed a frame.
+    JoinFailureRate,
+    /// Mean retried attempts per view (elevated under flaky origins).
+    RetryRate,
+    /// Mean per-view average bitrate; the one metric where *down* is bad.
+    MeanBitrate,
+}
+
+impl Metric {
+    /// Every watched metric, in evaluation order.
+    pub const ALL: [Metric; 5] = [
+        Metric::RebufferRatio,
+        Metric::FatalExitRate,
+        Metric::JoinFailureRate,
+        Metric::RetryRate,
+        Metric::MeanBitrate,
+    ];
+
+    /// Stable snake_case label used in alerts, events, and traces.
+    pub fn label(self) -> &'static str {
+        match self {
+            Metric::RebufferRatio => "rebuffer_ratio",
+            Metric::FatalExitRate => "fatal_exit_rate",
+            Metric::JoinFailureRate => "join_failure_rate",
+            Metric::RetryRate => "retry_rate",
+            Metric::MeanBitrate => "mean_bitrate_kbps",
+        }
+    }
+
+    /// Reads this metric out of a window aggregate (`None` when the window
+    /// has no views to support it).
+    pub fn value(self, w: &WindowStats) -> Option<f64> {
+        match self {
+            Metric::RebufferRatio => w.rebuffer_ratio(),
+            Metric::FatalExitRate => w.fatal_rate(),
+            Metric::JoinFailureRate => w.join_failure_rate(),
+            Metric::RetryRate => w.retry_rate(),
+            Metric::MeanBitrate => w.mean_bitrate(),
+        }
+    }
+
+    /// Deviation in the *bad* direction: positive means worse. Bitrate
+    /// inverts (a drop is bad); everything else rises when unhealthy.
+    pub fn bad_delta(self, observed: f64, baseline: f64) -> f64 {
+        match self {
+            Metric::MeanBitrate => baseline - observed,
+            _ => observed - baseline,
+        }
+    }
+
+    /// Minimum absolute bad-direction deviation worth alerting on; keeps a
+    /// z-score blowup on a near-zero-variance baseline from paging anyone
+    /// over noise.
+    pub fn absolute_floor(self) -> f64 {
+        match self {
+            Metric::RebufferRatio => 0.08,
+            Metric::FatalExitRate => 0.10,
+            Metric::JoinFailureRate => 0.10,
+            Metric::RetryRate => 0.75,
+            Metric::MeanBitrate => 400.0,
+        }
+    }
+
+    /// Standard error of this metric's window estimate: the sampling noise
+    /// a deviation must clear (times [`DetectorConfig::se_gate`]) before it
+    /// is evidence rather than small-sample jitter. Rates use a regularized
+    /// binomial error, retry counts a Poisson one, and bitrate the window's
+    /// own sample variance (regularized by the absolute floor so a handful
+    /// of identical views can't claim zero noise).
+    ///
+    /// [`DetectorConfig::se_gate`]: crate::detector::DetectorConfig::se_gate
+    pub fn standard_error(self, w: &WindowStats) -> f64 {
+        let n = w.totals.views.max(1) as f64;
+        match self {
+            Metric::RebufferRatio | Metric::FatalExitRate | Metric::JoinFailureRate => {
+                let p = self.value(w).unwrap_or(0.0).clamp(0.0, 1.0);
+                ((p * (1.0 - p) + 0.5 / n) / n).sqrt()
+            }
+            Metric::RetryRate => {
+                let r = w.retry_rate().unwrap_or(0.0).max(0.0);
+                ((r + 0.5) / n).sqrt()
+            }
+            Metric::MeanBitrate => {
+                let n = w.totals.bitrate_n.max(1) as f64;
+                let var = w.bitrate_variance().unwrap_or(0.0);
+                let floor = self.absolute_floor();
+                ((var + floor * floor) / n).sqrt()
+            }
+        }
+    }
+}
+
+impl fmt::Display for Metric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// How loudly to page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Robust threshold crossed.
+    Warning,
+    /// Crossed by at least twice the threshold — or escalated there while
+    /// an incident was already open.
+    Critical,
+}
+
+impl Severity {
+    /// Stable lowercase label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Critical => "critical",
+        }
+    }
+}
+
+/// One raised anomaly: a cell, a metric, and the evidence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alert {
+    /// Where.
+    pub cell: Cell,
+    /// What.
+    pub metric: Metric,
+    /// How bad.
+    pub severity: Severity,
+    /// The evaluated window on the fault clock, `[start, end)`.
+    pub window: (Seconds, Seconds),
+    /// EWMA baseline the detector expected.
+    pub baseline: f64,
+    /// What the window actually showed.
+    pub observed: f64,
+    /// Robust z-score of the deviation.
+    pub z: f64,
+    /// Views supporting the window.
+    pub views: u64,
+}
+
+impl Alert {
+    /// End of the evaluated window — the detection timestamp.
+    pub fn at(&self) -> Seconds {
+        self.window.1
+    }
+}
+
+impl fmt::Display for Alert {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} {} {:.2}→{:.2} (z={:.1}, {} views, t={:.0}s)",
+            self.severity.label(),
+            self.cell,
+            self.metric,
+            self.baseline,
+            self.observed,
+            self.z,
+            self.views,
+            self.window.1 .0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmp_core::cdn::CdnName;
+
+    #[test]
+    fn alert_renders_the_issue_shape() {
+        let alert = Alert {
+            cell: Cell::CdnRegion(CdnName::C, 2),
+            metric: Metric::FatalExitRate,
+            severity: Severity::Critical,
+            window: (Seconds(720.0), Seconds(780.0)),
+            baseline: 0.0,
+            observed: 0.31,
+            z: 9.0,
+            views: 18,
+        };
+        let text = alert.to_string();
+        assert!(text.contains("cdn=C region=2"), "{text}");
+        assert!(text.contains("fatal_exit_rate 0.00→0.31"), "{text}");
+        assert_eq!(alert.at(), Seconds(780.0));
+    }
+
+    #[test]
+    fn bitrate_inverts_the_bad_direction() {
+        assert!(Metric::MeanBitrate.bad_delta(1000.0, 2000.0) > 0.0);
+        assert!(Metric::FatalExitRate.bad_delta(0.3, 0.0) > 0.0);
+        assert!(Severity::Critical > Severity::Warning);
+    }
+
+    #[test]
+    fn standard_error_shrinks_with_support() {
+        use crate::window::{BucketStats, WindowStats};
+        let window = |views: u64, fatal: u64| WindowStats {
+            totals: BucketStats { views, fatal, ..Default::default() },
+        };
+        let thin = Metric::FatalExitRate.standard_error(&window(6, 3));
+        let thick = Metric::FatalExitRate.standard_error(&window(96, 48));
+        assert!(thin > 2.0 * thick, "thin {thin:.3} vs thick {thick:.3}");
+        // A total outage has no binomial variance left, only the regularizer.
+        let total = Metric::FatalExitRate.standard_error(&window(8, 8));
+        assert!(total < thin, "total {total:.3} vs thin {thin:.3}");
+    }
+}

@@ -1,0 +1,76 @@
+//! Aggregation cells: the dimensions the health plane slices views by.
+
+use std::fmt;
+
+use vmp_core::cdn::CdnName;
+
+/// One aggregation cell. Every finished view lands in up to four cells —
+/// its publisher, its primary CDN, its edge region, and the (CDN, region)
+/// pair — so an incident scoped to any of those dimensions shows up in the
+/// cell where its signal is least diluted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Cell {
+    /// All views of one publisher.
+    Publisher(u64),
+    /// All views whose first-assigned CDN was this one.
+    Cdn(CdnName),
+    /// All views served from one edge region (harness `region_index`).
+    Region(usize),
+    /// Views of one CDN within one edge region — the most specific cell,
+    /// and the one the localizer names for region-scoped incidents.
+    CdnRegion(CdnName, usize),
+}
+
+impl Cell {
+    /// The CDN this cell is scoped to, when it is.
+    pub fn cdn(&self) -> Option<CdnName> {
+        match self {
+            Cell::Cdn(c) | Cell::CdnRegion(c, _) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// The region this cell is scoped to, when it is.
+    pub fn region(&self) -> Option<usize> {
+        match self {
+            Cell::Region(r) | Cell::CdnRegion(_, r) => Some(*r),
+            _ => None,
+        }
+    }
+
+    /// How many dimensions the cell pins down (localization specificity).
+    pub fn specificity(&self) -> u32 {
+        match self {
+            Cell::CdnRegion(..) => 2,
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cell::Publisher(p) => write!(f, "publisher={p}"),
+            Cell::Cdn(c) => write!(f, "cdn={c:?}"),
+            Cell::Region(r) => write!(f, "region={r}"),
+            Cell::CdnRegion(c, r) => write!(f, "cdn={c:?} region={r}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_scopes() {
+        let cell = Cell::CdnRegion(CdnName::B, 2);
+        assert_eq!(cell.to_string(), "cdn=B region=2");
+        assert_eq!(cell.cdn(), Some(CdnName::B));
+        assert_eq!(cell.region(), Some(2));
+        assert_eq!(cell.specificity(), 2);
+        assert_eq!(Cell::Publisher(7).to_string(), "publisher=7");
+        assert_eq!(Cell::Cdn(CdnName::A).region(), None);
+        assert_eq!(Cell::Region(1).cdn(), None);
+    }
+}

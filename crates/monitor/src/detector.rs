@@ -1,0 +1,263 @@
+//! EWMA baseline + robust-threshold anomaly detection, per (cell, metric).
+//!
+//! Each detector keeps two exponentially weighted moving averages: the
+//! metric's mean and its mean absolute deviation. A window alerts when its
+//! bad-direction deviation clears *all three* gates: a robust z-threshold
+//! (deviation over EWMA-dev, floored so a flat baseline can't manufacture
+//! infinite z), an absolute per-metric floor, and a significance gate of
+//! `se_gate` standard errors of the window estimate — a 6-view window has
+//! to show a catastrophic shift before it outranks its own sampling noise.
+//! While an incident is open the baseline freezes — otherwise a long outage
+//! would teach the detector that failure is normal — and resumes adapting
+//! only after the metric recovers to less than half the alerting threshold
+//! (hysteresis).
+
+use crate::alert::{Metric, Severity};
+
+/// Tunables for one detector.
+#[derive(Debug, Clone, Copy)]
+pub struct DetectorConfig {
+    /// EWMA smoothing factor in `(0, 1]`; higher adapts faster.
+    pub alpha: f64,
+    /// Robust z-score an anomalous window must clear.
+    pub z_threshold: f64,
+    /// Standard errors of the window estimate a deviation must clear; the
+    /// significance gate against small-sample jitter. Zero disables it.
+    pub se_gate: f64,
+    /// Ticks of baseline learning before the detector may alert.
+    pub min_baseline_ticks: u32,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> DetectorConfig {
+        // alpha deliberately trails the window length: an onset ramps the
+        // sliding aggregate over `window` ticks, and the baseline must not
+        // absorb that ramp before the significance gate lets it alert. Four
+        // warmup ticks let the baseline cover a system's startup transient
+        // (a staggered population drifts until concurrency reaches steady
+        // state) instead of judging the ramp as an anomaly.
+        DetectorConfig { alpha: 0.15, z_threshold: 3.5, se_gate: 4.5, min_baseline_ticks: 4 }
+    }
+}
+
+/// What one evaluation decided.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Verdict {
+    /// Nothing anomalous; baseline updated.
+    Healthy,
+    /// Still learning or still inside an open incident; no new alert.
+    Quiet,
+    /// New incident (or escalation): raise an alert at this severity.
+    Raise {
+        /// Alert severity.
+        severity: Severity,
+        /// Baseline the detector expected.
+        baseline: f64,
+        /// Robust z-score of the deviation.
+        z: f64,
+    },
+}
+
+/// Detector state for one (cell, metric) pair.
+#[derive(Debug, Clone, Copy)]
+pub struct Detector {
+    mean: f64,
+    dev: f64,
+    ticks: u32,
+    open: Option<Severity>,
+}
+
+impl Detector {
+    /// A fresh detector with no baseline.
+    pub fn new() -> Detector {
+        Detector { mean: 0.0, dev: 0.0, ticks: 0, open: None }
+    }
+
+    /// Whether an incident is currently open on this detector.
+    pub fn alerting(&self) -> bool {
+        self.open.is_some()
+    }
+
+    /// The frozen baseline (meaningful once warmed up).
+    pub fn baseline(&self) -> f64 {
+        self.mean
+    }
+
+    /// Feeds one window value and decides. `noise` is the sampling noise of
+    /// the window estimate (its standard error); the deviation must clear
+    /// `cfg.se_gate × noise` on top of the metric's absolute floor.
+    pub fn evaluate(
+        &mut self,
+        metric: Metric,
+        value: f64,
+        noise: f64,
+        cfg: &DetectorConfig,
+    ) -> Verdict {
+        if self.ticks < cfg.min_baseline_ticks {
+            self.learn(value, cfg.alpha);
+            return Verdict::Quiet;
+        }
+        let floor = metric.absolute_floor().max(cfg.se_gate * noise);
+        let delta = metric.bad_delta(value, self.mean);
+        // Robust scale: EWMA absolute deviation, floored at a quarter of the
+        // metric's absolute floor so flat baselines stay finite.
+        let scale = self.dev.max(metric.absolute_floor() * 0.25);
+        let z = delta / scale;
+        let anomalous = z > cfg.z_threshold && delta > floor;
+
+        if anomalous {
+            let severity = if z >= 2.0 * cfg.z_threshold {
+                Severity::Critical
+            } else {
+                Severity::Warning
+            };
+            let verdict = match self.open {
+                // Escalation re-raises; an already-critical incident stays quiet.
+                Some(prev) if severity <= prev => Verdict::Quiet,
+                _ => Verdict::Raise { severity, baseline: self.mean, z },
+            };
+            self.open = Some(self.open.map_or(severity, |p| p.max(severity)));
+            return verdict; // baseline frozen while the incident is open
+        }
+
+        // Hysteresis: close the incident only once the deviation drops under
+        // half the threshold; until then keep the baseline frozen.
+        if self.open.is_some() {
+            if z > cfg.z_threshold * 0.5 && delta > floor * 0.5 {
+                return Verdict::Quiet;
+            }
+            self.open = None;
+        }
+        self.learn(value, cfg.alpha);
+        Verdict::Healthy
+    }
+
+    fn learn(&mut self, value: f64, alpha: f64) {
+        if self.ticks == 0 {
+            self.mean = value;
+            self.dev = 0.0;
+        } else {
+            let abs_dev = (value - self.mean).abs();
+            self.mean += alpha * (value - self.mean);
+            self.dev += alpha * (abs_dev - self.dev);
+        }
+        self.ticks = self.ticks.saturating_add(1);
+    }
+}
+
+impl Default for Detector {
+    fn default() -> Detector {
+        Detector::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn warm(det: &mut Detector, cfg: &DetectorConfig, value: f64, ticks: u32) {
+        for _ in 0..ticks {
+            det.evaluate(Metric::FatalExitRate, value, 0.0, cfg);
+        }
+    }
+
+    #[test]
+    fn warmup_never_alerts() {
+        let cfg = DetectorConfig::default();
+        let mut det = Detector::new();
+        for _ in 0..cfg.min_baseline_ticks {
+            assert_eq!(det.evaluate(Metric::FatalExitRate, 0.9, 0.0, &cfg), Verdict::Quiet);
+        }
+    }
+
+    #[test]
+    fn step_change_raises_once_then_stays_quiet() {
+        let cfg = DetectorConfig::default();
+        let mut det = Detector::new();
+        warm(&mut det, &cfg, 0.0, 5);
+        let verdict = det.evaluate(Metric::FatalExitRate, 0.4, 0.0, &cfg);
+        assert!(
+            matches!(verdict, Verdict::Raise { severity: Severity::Critical, .. }),
+            "{verdict:?}"
+        );
+        // Same elevated level: incident already open, no re-raise.
+        assert_eq!(det.evaluate(Metric::FatalExitRate, 0.4, 0.0, &cfg), Verdict::Quiet);
+        assert!(det.alerting());
+        // Baseline stayed frozen near zero during the incident.
+        assert!(det.baseline() < 0.05, "baseline leaked: {}", det.baseline());
+    }
+
+    #[test]
+    fn recovery_closes_the_incident_and_resumes_learning() {
+        let cfg = DetectorConfig::default();
+        let mut det = Detector::new();
+        warm(&mut det, &cfg, 0.0, 5);
+        det.evaluate(Metric::FatalExitRate, 0.5, 0.0, &cfg);
+        assert!(det.alerting());
+        assert_eq!(det.evaluate(Metric::FatalExitRate, 0.0, 0.0, &cfg), Verdict::Healthy);
+        assert!(!det.alerting());
+    }
+
+    #[test]
+    fn warning_escalates_to_critical_but_not_back() {
+        let cfg = DetectorConfig::default();
+        let mut det = Detector::new();
+        // Noisy baseline so dev is wide enough for a Warning-sized z.
+        for v in [0.00, 0.06, 0.00, 0.06, 0.00, 0.06] {
+            det.evaluate(Metric::FatalExitRate, v, 0.0, &cfg);
+        }
+        let first = det.evaluate(Metric::FatalExitRate, 0.15, 0.0, &cfg);
+        assert!(
+            matches!(first, Verdict::Raise { severity: Severity::Warning, .. }),
+            "{first:?}"
+        );
+        let second = det.evaluate(Metric::FatalExitRate, 0.9, 0.0, &cfg);
+        assert!(
+            matches!(second, Verdict::Raise { severity: Severity::Critical, .. }),
+            "{second:?}"
+        );
+        // De-escalating back to Warning levels does not re-raise.
+        assert_eq!(det.evaluate(Metric::FatalExitRate, 0.15, 0.0, &cfg), Verdict::Quiet);
+    }
+
+    #[test]
+    fn small_absolute_deviations_stay_quiet_even_with_flat_baseline() {
+        let cfg = DetectorConfig::default();
+        let mut det = Detector::new();
+        warm(&mut det, &cfg, 0.0, 10);
+        // Dev is ~0 so z would explode without the floor; the absolute floor
+        // keeps a 2% blip quiet.
+        assert_eq!(det.evaluate(Metric::FatalExitRate, 0.02, 0.0, &cfg), Verdict::Healthy);
+    }
+
+    #[test]
+    fn sampling_noise_raises_the_bar() {
+        let cfg = DetectorConfig::default();
+        let mut quiet = Detector::new();
+        warm(&mut quiet, &cfg, 0.0, 5);
+        // A 0.4 jump clears the absolute floor, but with a standard error of
+        // 0.2 the significance gate demands 4.5 × 0.2 = 0.9: stay quiet.
+        assert_eq!(quiet.evaluate(Metric::FatalExitRate, 0.4, 0.2, &cfg), Verdict::Healthy);
+        // The same jump on a well-supported window (tiny SE) raises.
+        let mut loud = Detector::new();
+        warm(&mut loud, &cfg, 0.0, 5);
+        assert!(matches!(
+            loud.evaluate(Metric::FatalExitRate, 0.4, 0.02, &cfg),
+            Verdict::Raise { .. }
+        ));
+    }
+
+    #[test]
+    fn bitrate_drops_alert_rises_do_not() {
+        let cfg = DetectorConfig::default();
+        let mut det = Detector::new();
+        for _ in 0..5 {
+            det.evaluate(Metric::MeanBitrate, 3000.0, 0.0, &cfg);
+        }
+        assert_eq!(det.evaluate(Metric::MeanBitrate, 4000.0, 0.0, &cfg), Verdict::Healthy);
+        assert!(matches!(
+            det.evaluate(Metric::MeanBitrate, 1200.0, 0.0, &cfg),
+            Verdict::Raise { .. }
+        ));
+    }
+}

@@ -1,0 +1,152 @@
+//! Incident localization: ranking cells by accumulated deviation.
+//!
+//! An incident scoped to one CDN elevates that CDN's cell at full strength
+//! while diluting every region and publisher cell it touches; an incident
+//! scoped to one (CDN, region) pair elevates that pair's cell hardest. Each
+//! alert contributes its *normalized shift* — bad-direction deviation over
+//! the metric's absolute floor, so metrics with different units compare —
+//! and summing that per cell ranks the *least diluted* explanation first: a
+//! cell seeing one third of the damage earns one third of the score, no
+//! matter how often it re-alerts. A cheap parsimony argument that needs no
+//! model of the topology.
+
+use vmp_core::units::Seconds;
+
+use crate::alert::{Alert, Metric, Severity};
+use crate::cell::Cell;
+
+/// One ranked suspect.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Culprit {
+    /// The suspected cell.
+    pub cell: Cell,
+    /// Accumulated normalized shift (bad-direction deviation over the
+    /// metric's floor) across the cell's alerts — the ranking key.
+    pub score: f64,
+    /// The metric with the single largest deviation.
+    pub top_metric: Metric,
+    /// Baseline → observed for that metric, from its worst alert.
+    pub top_shift: (f64, f64),
+    /// Earliest detection time across the cell's alerts.
+    pub first_at: Seconds,
+    /// Alerts attributed to the cell.
+    pub alerts: usize,
+    /// Worst severity seen.
+    pub severity: Severity,
+}
+
+impl Culprit {
+    /// Human-readable one-liner, e.g.
+    /// `cdn=C fatal_exit_rate 0.00→0.31 (2 alerts, first at t=960s)`.
+    pub fn describe(&self) -> String {
+        format!(
+            "{} {} {:.2}→{:.2} ({} alert{}, first at t={:.0}s)",
+            self.cell,
+            self.top_metric,
+            self.top_shift.0,
+            self.top_shift.1,
+            self.alerts,
+            if self.alerts == 1 { "" } else { "s" },
+            self.first_at.0,
+        )
+    }
+}
+
+/// Ranks the cells behind a batch of alerts, strongest suspect first.
+/// Ties break toward the more specific cell, then lexical cell order, so
+/// the ranking is deterministic.
+pub fn rank(alerts: &[Alert]) -> Vec<Culprit> {
+    let mut culprits: Vec<Culprit> = Vec::new();
+    for alert in alerts {
+        let shift = (alert.metric.bad_delta(alert.observed, alert.baseline)
+            / alert.metric.absolute_floor())
+        .max(0.0);
+        match culprits.iter_mut().find(|c| c.cell == alert.cell) {
+            Some(c) => {
+                c.score += shift;
+                c.alerts += 1;
+                c.severity = c.severity.max(alert.severity);
+                if alert.at() < c.first_at {
+                    c.first_at = alert.at();
+                }
+                if alert.metric.bad_delta(alert.observed, alert.baseline)
+                    / alert.metric.absolute_floor()
+                    > c.top_metric.bad_delta(c.top_shift.1, c.top_shift.0)
+                        / c.top_metric.absolute_floor()
+                {
+                    c.top_metric = alert.metric;
+                    c.top_shift = (alert.baseline, alert.observed);
+                }
+            }
+            None => culprits.push(Culprit {
+                cell: alert.cell,
+                score: shift,
+                top_metric: alert.metric,
+                top_shift: (alert.baseline, alert.observed),
+                first_at: alert.at(),
+                alerts: 1,
+                severity: alert.severity,
+            }),
+        }
+    }
+    culprits.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| b.cell.specificity().cmp(&a.cell.specificity()))
+            .then_with(|| a.cell.cmp(&b.cell))
+    });
+    culprits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmp_core::cdn::CdnName;
+
+    fn alert(cell: Cell, metric: Metric, z: f64, observed: f64, at: f64) -> Alert {
+        Alert {
+            cell,
+            metric,
+            severity: Severity::Warning,
+            window: (Seconds(at - 60.0), Seconds(at)),
+            baseline: 0.0,
+            observed,
+            z,
+            views: 20,
+        }
+    }
+
+    #[test]
+    fn strongest_accumulated_deviation_ranks_first() {
+        let alerts = vec![
+            alert(Cell::Cdn(CdnName::B), Metric::FatalExitRate, 8.0, 0.4, 420.0),
+            alert(Cell::Region(1), Metric::FatalExitRate, 3.5, 0.15, 420.0),
+            alert(Cell::Cdn(CdnName::B), Metric::RebufferRatio, 6.0, 0.3, 480.0),
+        ];
+        let ranked = rank(&alerts);
+        assert_eq!(ranked[0].cell, Cell::Cdn(CdnName::B));
+        assert_eq!(ranked[0].alerts, 2);
+        assert_eq!(ranked[0].first_at, Seconds(420.0));
+        assert!(ranked[0].score > ranked[1].score);
+        // Fatal rate deviates by 4× its floor, rebuffer by 3.75×: fatal wins.
+        assert_eq!(ranked[0].top_metric, Metric::FatalExitRate);
+        let text = ranked[0].describe();
+        assert!(text.contains("cdn=B fatal_exit_rate 0.00→0.40"), "{text}");
+    }
+
+    #[test]
+    fn ties_prefer_the_more_specific_cell() {
+        let alerts = vec![
+            alert(Cell::Cdn(CdnName::A), Metric::JoinFailureRate, 5.0, 0.5, 300.0),
+            alert(Cell::CdnRegion(CdnName::A, 2), Metric::JoinFailureRate, 5.0, 0.5, 300.0),
+        ];
+        let ranked = rank(&alerts);
+        assert_eq!(ranked[0].cell, Cell::CdnRegion(CdnName::A, 2));
+    }
+
+    #[test]
+    fn empty_input_ranks_nothing() {
+        assert!(rank(&[]).is_empty());
+    }
+}

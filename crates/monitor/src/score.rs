@@ -1,0 +1,186 @@
+//! Scoring detector output against fault-injection ground truth.
+//!
+//! The fault plan *is* the oracle: every scheduled window says which CDN
+//! (and possibly region) misbehaved and when. An alert is a true positive
+//! when some non-instant window overlaps its detection time (with slack for
+//! sessions that straddle the boundary) *and* the window's scope intersects
+//! the alert cell's scope — a region cell legitimately fires for a CDN-wide
+//! incident hitting that region, so scope matching is intersection, not
+//! equality. Localization accuracy is judged separately, by the ranked
+//! culprit list.
+
+use vmp_core::units::Seconds;
+use vmp_faults::{FaultProfile, FaultWindow};
+
+use crate::alert::Alert;
+use crate::cell::Cell;
+
+/// Whether `cell`'s scope intersects `window`'s scope.
+fn scopes_intersect(cell: &Cell, window: &FaultWindow) -> bool {
+    let cdn_ok = match (cell.cdn(), window.cdn) {
+        (Some(a), Some(b)) => a == b,
+        _ => true,
+    };
+    let region_ok = match (cell.region(), window.region) {
+        (Some(a), Some(b)) => a == b,
+        _ => true,
+    };
+    cdn_ok && region_ok
+}
+
+/// Whether `window` explains an alert detected at `at`.
+fn explains(window: &FaultWindow, cell: &Cell, at: Seconds, slack: Seconds) -> bool {
+    window.duration.0 > 0.0
+        && at.0 >= window.start.0
+        && at.0 <= window.end().0 + slack.0
+        && scopes_intersect(cell, window)
+}
+
+/// Precision / recall / time-to-detect of one alert stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectionScore {
+    /// Alerts explained by at least one scheduled window.
+    pub true_positives: usize,
+    /// Alerts no window explains.
+    pub false_positives: usize,
+    /// Non-instant windows with at least one explaining alert.
+    pub detected_windows: usize,
+    /// All non-instant windows (instant flushes can't be "covered").
+    pub total_windows: usize,
+    /// Seconds from each detected window's start to its first alert.
+    pub detect_delays: Vec<f64>,
+}
+
+impl DetectionScore {
+    /// TP / (TP + FP); a silent detector scores 1.0 (it told no lies).
+    pub fn precision(&self) -> f64 {
+        let total = self.true_positives + self.false_positives;
+        if total == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / total as f64
+        }
+    }
+
+    /// Detected windows over all scorable windows; 1.0 when nothing was
+    /// scheduled.
+    pub fn recall(&self) -> f64 {
+        if self.total_windows == 0 {
+            1.0
+        } else {
+            self.detected_windows as f64 / self.total_windows as f64
+        }
+    }
+
+    /// Mean seconds from fault onset to first explaining alert.
+    pub fn mean_time_to_detect(&self) -> Option<f64> {
+        if self.detect_delays.is_empty() {
+            None
+        } else {
+            Some(self.detect_delays.iter().sum::<f64>() / self.detect_delays.len() as f64)
+        }
+    }
+}
+
+/// Scores `alerts` against the windows of `profile`. `slack` extends each
+/// window's credit past its end, covering sessions that absorbed the fault
+/// but only finished (and were only counted) after it cleared.
+pub fn score_alerts(alerts: &[Alert], profile: &FaultProfile, slack: Seconds) -> DetectionScore {
+    let windows: Vec<&FaultWindow> =
+        profile.windows().iter().filter(|w| w.duration.0 > 0.0).collect();
+    let mut first_alert: Vec<Option<f64>> = vec![None; windows.len()];
+    let mut true_positives = 0;
+    let mut false_positives = 0;
+
+    for alert in alerts {
+        let mut explained = false;
+        for (i, w) in windows.iter().enumerate() {
+            if explains(w, &alert.cell, alert.at(), slack) {
+                explained = true;
+                let delay = alert.at().0 - w.start.0;
+                if first_alert[i].is_none_or(|d| delay < d) {
+                    first_alert[i] = Some(delay);
+                }
+            }
+        }
+        if explained {
+            true_positives += 1;
+        } else {
+            false_positives += 1;
+        }
+    }
+
+    let detect_delays: Vec<f64> = first_alert.iter().filter_map(|d| *d).collect();
+    DetectionScore {
+        true_positives,
+        false_positives,
+        detected_windows: detect_delays.len(),
+        total_windows: windows.len(),
+        detect_delays,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alert::{Metric, Severity};
+    use vmp_core::cdn::CdnName;
+
+    fn alert_at(cell: Cell, at: f64) -> Alert {
+        Alert {
+            cell,
+            metric: Metric::FatalExitRate,
+            severity: Severity::Critical,
+            window: (Seconds(at - 60.0), Seconds(at)),
+            baseline: 0.0,
+            observed: 0.5,
+            z: 10.0,
+            views: 25,
+        }
+    }
+
+    #[test]
+    fn alerts_inside_matching_windows_are_true_positives() {
+        let profile = FaultProfile::builder()
+            .outage(CdnName::B, Seconds(600.0), Seconds(300.0))
+            .build();
+        let alerts = vec![
+            alert_at(Cell::Cdn(CdnName::B), 720.0),          // in window, right cdn
+            alert_at(Cell::Region(1), 720.0),                // region symptom of a cdn fault
+            alert_at(Cell::Cdn(CdnName::A), 720.0),          // wrong cdn
+            alert_at(Cell::Cdn(CdnName::B), 100.0),          // before the fault
+            alert_at(Cell::Cdn(CdnName::B), 1000.0),         // within slack after the end
+        ];
+        let score = score_alerts(&alerts, &profile, Seconds(120.0));
+        assert_eq!(score.true_positives, 3);
+        assert_eq!(score.false_positives, 2);
+        assert_eq!(score.detected_windows, 1);
+        assert_eq!(score.total_windows, 1);
+        assert!((score.precision() - 0.6).abs() < 1e-12);
+        assert_eq!(score.recall(), 1.0);
+        assert_eq!(score.mean_time_to_detect(), Some(120.0));
+    }
+
+    #[test]
+    fn region_scoped_windows_reject_other_regions() {
+        let profile = FaultProfile::builder()
+            .outage(CdnName::B, Seconds(0.0), Seconds(500.0))
+            .in_region(2)
+            .build();
+        let hit = alert_at(Cell::CdnRegion(CdnName::B, 2), 100.0);
+        let miss = alert_at(Cell::CdnRegion(CdnName::B, 1), 100.0);
+        let score = score_alerts(&[hit, miss], &profile, Seconds::ZERO);
+        assert_eq!(score.true_positives, 1);
+        assert_eq!(score.false_positives, 1);
+    }
+
+    #[test]
+    fn instant_flushes_are_not_scorable_windows() {
+        let profile = FaultProfile::builder().flush(CdnName::A, Seconds(300.0)).build();
+        let score = score_alerts(&[], &profile, Seconds::ZERO);
+        assert_eq!(score.total_windows, 0);
+        assert_eq!(score.recall(), 1.0);
+        assert_eq!(score.precision(), 1.0);
+        assert_eq!(score.mean_time_to_detect(), None);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests for the health plane's streaming invariants.
+//!
+//! The contract the monitor gives its callers: within one tick, view
+//! arrival order is irrelevant (window buckets are commutative sums and
+//! detectors only run at tick boundaries), and a steady stream — whatever
+//! its absolute level — never alerts, because the EWMA baseline learns the
+//! level before the detectors arm.
+
+use proptest::prelude::*;
+use vmp_core::cdn::CdnName;
+use vmp_core::units::Seconds;
+use vmp_monitor::{HealthMonitor, ViewEnd};
+use vmp_stats::Rng;
+
+fn view(cdn: CdnName, region: usize, at: f64, fatal: bool, rebuffer: f64) -> ViewEnd {
+    ViewEnd {
+        cdn,
+        region: Some(region),
+        publisher: Some(0),
+        end_clock: Seconds(at),
+        played: if fatal { 0.0 } else { 240.0 },
+        rebuffer,
+        bitrate_kbps: if fatal { 0.0 } else { 2200.0 },
+        retries: if fatal { 5 } else { 0 },
+        fatal,
+        join_failed: fatal,
+    }
+}
+
+/// Builds a stream with a mid-run incident, grouped per tick.
+fn incident_stream(per_tick: u64) -> Vec<Vec<ViewEnd>> {
+    let mut ticks = Vec::new();
+    for t in 0..16u64 {
+        let mut bucket = Vec::new();
+        for k in 0..per_tick {
+            let cdn = [CdnName::A, CdnName::B, CdnName::C][(k % 3) as usize];
+            let at = t as f64 * 60.0 + (k % 60) as f64;
+            let fatal = t >= 9 && cdn == CdnName::B;
+            bucket.push(view(cdn, (k % 2) as usize, at, fatal, 1.0));
+        }
+        ticks.push(bucket);
+    }
+    ticks
+}
+
+fn run_stream(ticks: &[Vec<ViewEnd>]) -> Vec<String> {
+    let mut monitor = HealthMonitor::with_defaults();
+    for bucket in ticks {
+        for v in bucket {
+            monitor.observe(v);
+        }
+    }
+    monitor.finish();
+    monitor.alerts().iter().map(|a| a.to_string()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Shuffling views *within* each tick never changes the alert stream.
+    #[test]
+    fn alerts_are_order_insensitive_within_a_tick(
+        seed in 0u64..1_000_000,
+        per_tick in 9u64..30,
+    ) {
+        let ordered = incident_stream(per_tick);
+        let baseline = run_stream(&ordered);
+        prop_assert!(!baseline.is_empty(), "the injected incident must alert");
+
+        let mut rng = Rng::seed_from(seed);
+        let mut shuffled = ordered.clone();
+        for bucket in &mut shuffled {
+            // Fisher-Yates with the deterministic test RNG.
+            for i in (1..bucket.len()).rev() {
+                let j = rng.below((i + 1) as u64) as usize;
+                bucket.swap(i, j);
+            }
+        }
+        prop_assert_eq!(run_stream(&shuffled), baseline);
+    }
+
+    /// A steady stream at any absolute level of (mild) badness is the
+    /// baseline, not an anomaly: zero alerts.
+    #[test]
+    fn steady_streams_never_alert(
+        per_tick in 6u64..24,
+        rebuffer_level in 0.0f64..20.0,
+    ) {
+        let mut monitor = HealthMonitor::with_defaults();
+        for t in 0..20u64 {
+            for k in 0..per_tick {
+                let cdn = [CdnName::A, CdnName::B][(k % 2) as usize];
+                let at = t as f64 * 60.0 + (k % 60) as f64;
+                monitor.observe(&view(cdn, (k % 2) as usize, at, false, rebuffer_level));
+            }
+        }
+        monitor.finish();
+        prop_assert_eq!(monitor.alerts().len(), 0, "steady level must be learned as baseline");
+    }
+}

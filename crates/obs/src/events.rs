@@ -27,6 +27,8 @@ pub enum EventKind {
     CircuitOpen,
     /// A session exited fatally (retry and failover budgets exhausted).
     SessionFatal,
+    /// The health monitor raised an anomaly alert.
+    Alert,
     /// Anything else; the detail string carries the specifics.
     Other,
 }
@@ -44,6 +46,7 @@ impl EventKind {
             EventKind::FaultStop => "fault_stop",
             EventKind::CircuitOpen => "circuit_open",
             EventKind::SessionFatal => "session_fatal",
+            EventKind::Alert => "alert",
             EventKind::Other => "other",
         }
     }

@@ -28,11 +28,16 @@ mod events;
 mod export;
 mod metrics;
 mod span;
+pub mod trace;
 
 pub use events::{Event, EventKind, EventSink, RingBufferSink};
 pub use export::{CounterSnapshot, GaugeSnapshot, HistogramSnapshot, RegistrySnapshot};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 pub use span::{current_path, span, span_in, Span};
+pub use trace::{
+    chrome_trace_json, set_tracing, trace_counter, trace_dropped, trace_events, trace_instant,
+    tracing_enabled, TraceEvent,
+};
 
 use std::sync::OnceLock;
 

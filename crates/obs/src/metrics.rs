@@ -283,13 +283,18 @@ impl MetricsRegistry {
     }
 
     /// Point-in-time copy of every metric and the retained events.
+    ///
+    /// The ring-buffer eviction count is surfaced as a synthetic
+    /// `obs.events_dropped` counter so silent event loss is visible in both
+    /// the JSON and Prometheus renderings, not just the dedicated field.
     pub fn snapshot(&self) -> RegistrySnapshot {
-        let counters = self
+        let mut counters: BTreeMap<String, u64> = self
             .counters
             .lock()
             .iter()
             .map(|(name, v)| (name.clone(), v.load(Ordering::Relaxed)))
             .collect();
+        counters.insert("obs.events_dropped".to_string(), self.events.dropped());
         let gauges = self
             .gauges
             .lock()

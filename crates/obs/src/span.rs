@@ -29,10 +29,12 @@ pub fn span(name: &'static str) -> Span {
 /// Opens a span recording into `registry`'s histogram `name`.
 ///
 /// When the registry is disabled the span skips the clock read entirely and
-/// drop is a near-no-op.
+/// drop is a near-no-op — unless tracing ([`crate::set_tracing`]) is on, in
+/// which case the clock is read so the slice can land on the trace
+/// timeline.
 pub fn span_in(registry: &crate::MetricsRegistry, name: &'static str) -> Span {
     let histogram = registry.histogram(name);
-    let start = registry.is_enabled().then(Instant::now);
+    let start = (registry.is_enabled() || crate::trace::tracing_enabled()).then(Instant::now);
     let depth = SPAN_STACK.with(|stack| {
         let mut stack = stack.borrow_mut();
         stack.push(name);
@@ -72,7 +74,13 @@ impl Drop for Span {
             stack.truncate(self.depth.saturating_sub(1));
         });
         if let Some(start) = self.start {
-            self.histogram.record_duration(start.elapsed());
+            let elapsed = start.elapsed();
+            self.histogram.record_duration(elapsed);
+            if crate::trace::tracing_enabled() {
+                let dur_us = elapsed.as_micros().min(u64::MAX as u128) as u64;
+                let end_us = crate::trace::now_us();
+                crate::trace::record_slice(self.name, end_us.saturating_sub(dur_us), dur_us);
+            }
         }
     }
 }

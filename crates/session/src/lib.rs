@@ -14,9 +14,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod hooks;
 pub mod player;
 pub mod telemetry;
 
+pub use hooks::{CompletionSink, SessionEnd};
 pub use player::{
     infrastructure_fn, ChunkRequest, ChunkServe, ExitCause, MultiCdnContext, PlaybackConfig,
     Player, SessionOutcome,

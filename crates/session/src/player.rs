@@ -195,12 +195,13 @@ pub fn infrastructure_fn<'a>(
     let mut last_flush: std::collections::HashMap<CdnName, Seconds> = std::collections::HashMap::new();
     move |req, rng| {
         let cdn = req.cdn;
+        let region = Some(region_index);
         if let Some(fi) = faults {
-            if fi.outage(cdn, req.clock) {
+            if fi.outage_in(cdn, region, req.clock) {
                 return Err(FetchError::Outage { cdn });
             }
             let since = last_flush.get(&cdn).copied().unwrap_or(Seconds::ZERO);
-            if fi.cache_flush_between(cdn, since, req.clock) {
+            if fi.cache_flush_between_in(cdn, region, since, req.clock) {
                 if let Some(e) = edges.get_mut(&cdn) {
                     e.flush_all();
                 }
@@ -217,12 +218,13 @@ pub fn infrastructure_fn<'a>(
         };
         if cache == CacheOutcome::Miss {
             if let Some(fi) = faults {
-                if fi.origin_error(cdn, req.clock, rng) {
+                if fi.origin_error_in(cdn, region, req.clock, rng) {
                     return Err(FetchError::OriginUnavailable { cdn });
                 }
             }
         }
-        let throughput_factor = faults.map(|fi| fi.throughput_factor(cdn, req.clock)).unwrap_or(1.0);
+        let throughput_factor =
+            faults.map(|fi| fi.throughput_factor_in(cdn, region, req.clock)).unwrap_or(1.0);
         Ok(ChunkServe { cache, connection_reset: reset, throughput_factor })
     }
 }
@@ -245,6 +247,10 @@ pub struct SessionOutcome {
     pub retries: u32,
     /// How many of those failures were chunk timeouts.
     pub timeouts: u32,
+    /// Fault-clock time when the session ended (start offset plus every
+    /// download, backoff, and pacing wait). Streaming consumers key their
+    /// windows off this, never off wall time.
+    pub end_clock: Seconds,
 }
 
 /// Cached handles into the global metrics registry, resolved once per
@@ -663,6 +669,7 @@ impl<'a> Player<'a> {
             exit,
             retries,
             timeouts,
+            end_clock: clock,
         }
     }
 }

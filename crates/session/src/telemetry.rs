@@ -117,6 +117,7 @@ mod tests {
             exit: crate::player::ExitCause::Completed,
             retries: 0,
             timeouts: 0,
+            end_clock: Seconds(1900.0),
         }
     }
 

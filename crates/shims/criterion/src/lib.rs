@@ -147,6 +147,66 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(
     println!(
         "{id:<50} {median:>12.2} ns/iter  (best {best:.2}, worst {worst:.2}, {sample_size} samples x {iters} iters)"
     );
+    results::record(id, median, best, worst, sample_size, iters);
+}
+
+/// Machine-readable results: every finished benchmark is merged into one
+/// JSON file so CI can archive numbers without scraping stdout.
+mod results {
+    use serde_json::Value;
+    use std::path::PathBuf;
+
+    /// Where to merge results: `BENCH_RESULTS_PATH` when set, else
+    /// `<manifest>/../../results/BENCH_results.json` — which resolves to the
+    /// workspace `results/` directory for the bench crate. The file is only
+    /// written when its parent directory already exists, so unit tests of
+    /// crates without a `results/` sibling stay side-effect free.
+    fn path() -> Option<PathBuf> {
+        if let Ok(p) = std::env::var("BENCH_RESULTS_PATH") {
+            return Some(PathBuf::from(p));
+        }
+        let manifest = std::env::var("CARGO_MANIFEST_DIR").ok()?;
+        Some(PathBuf::from(manifest).join("../../results/BENCH_results.json"))
+    }
+
+    pub(crate) fn record(
+        id: &str,
+        median: f64,
+        best: f64,
+        worst: f64,
+        samples: usize,
+        iters: u64,
+    ) {
+        let Some(path) = path() else { return };
+        if !path.parent().is_some_and(|d| d.is_dir()) {
+            return;
+        }
+        let mut benchmarks: Vec<(String, Value)> = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|text| serde_json::from_str::<Value>(&text).ok())
+            .and_then(|doc| doc.get("benchmarks").and_then(|b| b.as_object().map(<[_]>::to_vec)))
+            .unwrap_or_default();
+        let entry = Value::Object(vec![
+            ("median_ns".into(), Value::F64(median)),
+            ("best_ns".into(), Value::F64(best)),
+            ("worst_ns".into(), Value::F64(worst)),
+            ("samples".into(), Value::U64(samples as u64)),
+            ("iters".into(), Value::U64(iters)),
+        ]);
+        match benchmarks.iter_mut().find(|(name, _)| name == id) {
+            Some(slot) => slot.1 = entry,
+            None => benchmarks.push((id.to_string(), entry)),
+        }
+        benchmarks.sort_by(|a, b| a.0.cmp(&b.0));
+        let doc = Value::Object(vec![
+            ("schema".into(), Value::Str("vmp-bench/1".into())),
+            ("unit".into(), Value::Str("ns/iter".into())),
+            ("benchmarks".into(), Value::Object(benchmarks)),
+        ]);
+        if let Ok(text) = serde_json::to_string_pretty(&doc) {
+            let _ = std::fs::write(&path, text + "\n");
+        }
+    }
 }
 
 /// Bundles benchmark functions into one group runner.

@@ -4,7 +4,10 @@ pub use vmp_analytics as analytics;
 pub use vmp_cdn as cdn;
 pub use vmp_core as core;
 pub use vmp_experiments as experiments;
+pub use vmp_faults as faults;
 pub use vmp_manifest as manifest;
+pub use vmp_monitor as monitor;
+pub use vmp_obs as obs;
 pub use vmp_packaging as packaging;
 pub use vmp_session as session;
 pub use vmp_stats as stats;
