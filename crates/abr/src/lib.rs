@@ -16,6 +16,7 @@
 //!   BOLA-style utility maximizer.
 
 #![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 pub mod algorithm;

@@ -77,39 +77,36 @@ pub struct NetworkModel {
 impl NetworkModel {
     /// Starts a session's bandwidth process in the nominal state.
     pub fn new(profile: NetworkProfile) -> NetworkModel {
-        let samplers = [
-            LogNormal::from_median_spread(profile.medians[0].max(1.0), profile.spread)
-                .expect("valid lognormal"),
-            LogNormal::from_median_spread(profile.medians[1].max(1.0), profile.spread)
-                .expect("valid lognormal"),
-            LogNormal::from_median_spread(profile.medians[2].max(1.0), profile.spread)
-                .expect("valid lognormal"),
-        ];
+        let samplers = profile
+            .medians
+            .map(|m| LogNormal::clamped_median_spread(m.max(1.0), profile.spread));
         NetworkModel { profile, state: State::Nominal, samplers }
     }
 
     /// Advances the chain one step and samples the throughput available for
     /// the next chunk download.
     pub fn next_throughput(&mut self, rng: &mut Rng) -> Kbps {
-        let row = match self.state {
-            State::Congested => self.profile.transitions[0],
-            State::Nominal => self.profile.transitions[1],
-            State::Good => self.profile.transitions[2],
+        let [congested_row, nominal_row, good_row] = self.profile.transitions;
+        let [to_congested, to_nominal, _] = match self.state {
+            State::Congested => congested_row,
+            State::Nominal => nominal_row,
+            State::Good => good_row,
         };
         let u = rng.f64();
-        self.state = if u < row[0] {
+        self.state = if u < to_congested {
             State::Congested
-        } else if u < row[0] + row[1] {
+        } else if u < to_congested + to_nominal {
             State::Nominal
         } else {
             State::Good
         };
-        let idx = match self.state {
-            State::Congested => 0,
-            State::Nominal => 1,
-            State::Good => 2,
+        let [congested, nominal, good] = &self.samplers;
+        let sampler = match self.state {
+            State::Congested => congested,
+            State::Nominal => nominal,
+            State::Good => good,
         };
-        let sample = self.samplers[idx].sample(rng).max(50.0);
+        let sample = sampler.sample(rng).max(50.0);
         Kbps(sample as u32)
     }
 

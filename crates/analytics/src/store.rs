@@ -8,7 +8,7 @@
 //! surface for row-at-a-time consumers and the reference queries in
 //! [`crate::query`].
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use vmp_core::ids::PublisherId;
@@ -71,10 +71,10 @@ impl ViewStore {
         let mut protocol_codes: Vec<u8> = Vec::with_capacity(views.len());
         let mut player_codes: Vec<u32> = Vec::with_capacity(views.len());
         let mut player_keys: Vec<String> = Vec::new();
-        let mut player_dict: HashMap<String, u32> = HashMap::new();
+        let mut player_dict: BTreeMap<String, u32> = BTreeMap::new();
         // Fast path for SDK identities: avoids formatting the build string
         // on every row.
-        let mut build_codes: HashMap<vmp_core::sdk::PlayerBuild, u32> = HashMap::new();
+        let mut build_codes: BTreeMap<vmp_core::sdk::PlayerBuild, u32> = BTreeMap::new();
         let mut misses = 0u64;
         for v in &views {
             let proto = vmp_manifest::classify(&v.record.manifest_url);
@@ -205,7 +205,7 @@ impl ViewStore {
     }
 }
 
-fn intern(dict: &mut HashMap<String, u32>, keys: &mut Vec<String>, key: String) -> u32 {
+fn intern(dict: &mut BTreeMap<String, u32>, keys: &mut Vec<String>, key: String) -> u32 {
     let code = keys.len() as u32;
     keys.push(key.clone());
     dict.insert(key, code);
@@ -385,6 +385,43 @@ pub(crate) mod tests {
         ]);
         let total = store.total_hours_at(SnapshotId::FIRST);
         assert!((total - 5.0).abs() < 1e-9);
+    }
+
+    /// The player dictionary is built with ordered maps (vmp-lint D1), so
+    /// two ingests of the same batch must assign identical codes in
+    /// identical order — including the SDK fast-path cache.
+    #[test]
+    fn double_ingest_interns_identically() {
+        use vmp_core::sdk::{PlayerBuild, SdkKind, SdkVersion};
+        let batch = || {
+            let mut views = vec![
+                test_view(0, 0, "https://h/p/a.m3u8", 1.0, 1.0),
+                test_view(0, 1, "https://h/p/b.m3u8", 1.0, 1.0),
+                test_view(1, 0, "https://h/p/c.mpd", 1.0, 1.0),
+                test_view(1, 2, "https://h/p/d.m3u8", 1.0, 1.0),
+            ];
+            views[0].record.player = PlayerIdentity::UserAgent("Mozilla/5.0".into());
+            views[1].record.player = PlayerIdentity::Sdk(PlayerBuild::new(
+                SdkKind::ExoPlayer,
+                SdkVersion::new(2, 11),
+            ));
+            views[2].record.player = PlayerIdentity::Sdk(PlayerBuild::new(
+                SdkKind::AvFoundation,
+                SdkVersion::new(1, 4),
+            ));
+            views
+        };
+        let a = ViewStore::ingest(batch());
+        let b = ViewStore::ingest(batch());
+        assert_eq!(a.player_count(), b.player_count());
+        let keys = |s: &ViewStore| -> Vec<String> {
+            (0..s.player_count() as u32).map(|c| s.player_key(c).to_string()).collect()
+        };
+        assert_eq!(keys(&a), keys(&b));
+        let codes = |s: &ViewStore| -> Vec<Vec<u32>> {
+            s.segments().iter().map(|seg| seg.players().to_vec()).collect()
+        };
+        assert_eq!(codes(&a), codes(&b));
     }
 
     #[test]

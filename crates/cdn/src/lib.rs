@@ -24,6 +24,7 @@
 //!   injected faults instead of the old always-succeeds behaviour.
 
 #![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 pub mod broker;

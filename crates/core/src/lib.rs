@@ -17,6 +17,7 @@
 //!   the compiler flags any analysis that forgets a category.
 
 #![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 pub mod cdn;

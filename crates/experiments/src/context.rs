@@ -21,6 +21,14 @@ pub struct ReproContext {
     pub store: ViewStore,
 }
 
+impl std::fmt::Debug for ReproContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReproContext")
+            .field("views", &self.store.len())
+            .finish_non_exhaustive()
+    }
+}
+
 impl ReproContext {
     /// Generates the ecosystem with the default master seed.
     pub fn new(scale: Scale) -> ReproContext {

@@ -35,7 +35,16 @@ const SESSIONS: usize = 120;
 pub fn run_abr() -> ExperimentResult {
     let mut result =
         ExperimentResult::new("abl-abr", "Ablation: ABR algorithm vs ladder contribution to QoE");
-    let ladders = [("owner O", ladder_of("O").expect("static")), ("syndicator S7", ladder_of("S7").expect("static"))];
+    let (Some(owner_ladder), Some(s7_ladder)) = (ladder_of("O"), ladder_of("S7")) else {
+        result.checks.push(Check::new(
+            "abl-abr: static catalogue ladders present",
+            false,
+            "ladder_of(\"O\") / ladder_of(\"S7\") missing from the catalogue",
+        ));
+        return result;
+    };
+    let s7_top = s7_ladder.max().bitrate.0 as f64;
+    let ladders = [("owner O", owner_ladder), ("syndicator S7", s7_ladder)];
     let algorithms: [(&str, Box<dyn AbrAlgorithm>); 3] = [
         ("throughput(0.8)", Box::new(ThroughputRule::default())),
         ("bba", Box::new(Bba::default())),
@@ -61,9 +70,12 @@ pub fn run_abr() -> ExperimentResult {
                     Seconds::from_minutes(40.0),
                     Seconds::from_minutes(20.0),
                 );
-                let out = Player::new(config, network, algo.as_ref())
-                    .expect("valid config")
-                    .play(CdnName::A, &mut rng);
+                // `vod` configs always validate; a constructor error would
+                // only mean the static setup above is broken.
+                let Ok(mut player) = Player::new(config, network, algo.as_ref()) else {
+                    continue;
+                };
+                let out = player.play(CdnName::A, &mut rng);
                 bitrates.push(out.qoe.avg_bitrate.0 as f64);
                 rebuffers.push(out.qoe.rebuffer_ratio());
             }
@@ -84,7 +96,6 @@ pub fn run_abr() -> ExperimentResult {
     // The ladder cap binds for S7 under *every* algorithm: the finding that
     // the management-plane choice (ladder) dominates the control-plane
     // choice (ABR) for the Fig 15 gap.
-    let s7_top = ladder_of("S7").expect("static").max().bitrate.0 as f64;
     for (algo_name, owner_median) in &owner_medians {
         result.checks.push(Check::new(
             format!("{algo_name}: owner's ladder beats S7's ceiling"),
@@ -106,7 +117,14 @@ pub fn run_dedup() -> ExperimentResult {
         ExperimentResult::new("abl-dedup", "Ablation: dedup savings vs bitrate tolerance");
     let study = CatalogueStudy::paper_setting();
     let outcome = storage_study(&study);
-    let base = outcome.representative().expect("common CDNs").clone();
+    let Some(base) = outcome.representative().cloned() else {
+        result.checks.push(Check::new(
+            "abl-dedup: representative CDN present",
+            false,
+            "storage study produced no CDN shared by every participant",
+        ));
+        return result;
+    };
 
     // Re-run the ledger at a sweep of tolerances.
     let mut series = Series::new("Savings (% of origin storage) vs tolerance", "tolerance");
@@ -220,8 +238,11 @@ pub fn run_live_latency() -> ExperimentResult {
     }
     result.tables.push(table);
 
-    let rtmp = totals.iter().find(|(p, _)| *p == StreamingProtocol::Rtmp).expect("listed").1;
-    let hls = totals.iter().find(|(p, _)| *p == StreamingProtocol::Hls).expect("listed").1;
+    let latency_of = |proto: StreamingProtocol| {
+        totals.iter().find(|(p, _)| *p == proto).map_or(f64::NAN, |(_, t)| *t)
+    };
+    let rtmp = latency_of(StreamingProtocol::Rtmp);
+    let hls = latency_of(StreamingProtocol::Hls);
     result.checks.push(Check::new(
         "abl-live: RTMP is several seconds faster end-to-end",
         hls > rtmp + 4.0,
@@ -240,12 +261,21 @@ pub fn run_broker() -> ExperimentResult {
         "abl-broker",
         "Ablation: QoE-aware brokering vs static weights under CDN degradation",
     );
-    let ladder = BitrateLadder::from_bitrates(&[400, 900, 1800, 3500, 6500]).expect("static");
-    let strategy = CdnStrategy::new(vec![
-        CdnAssignment { cdn: CdnName::A, weight: 2.0, scope: CdnScope::All },
-        CdnAssignment { cdn: CdnName::B, weight: 1.0, scope: CdnScope::All },
-    ])
-    .expect("valid");
+    let setup = BitrateLadder::from_bitrates(&[400, 900, 1800, 3500, 6500]).and_then(|ladder| {
+        let strategy = CdnStrategy::new(vec![
+            CdnAssignment { cdn: CdnName::A, weight: 2.0, scope: CdnScope::All },
+            CdnAssignment { cdn: CdnName::B, weight: 1.0, scope: CdnScope::All },
+        ])?;
+        Ok((ladder, strategy))
+    });
+    let Ok((ladder, strategy)) = setup else {
+        result.checks.push(Check::new(
+            "abl-broker: static ladder and strategy valid",
+            false,
+            "construction of the fixed two-CDN setup failed",
+        ));
+        return result;
+    };
 
     let mut table = Table::new(
         "Mean avg-bitrate (kbps) over 200 sessions; CDN A degraded to 0.35x",
@@ -260,9 +290,11 @@ pub fn run_broker() -> ExperimentResult {
         let mut on_a = 0usize;
         let sessions = 200;
         for _ in 0..sessions {
-            let cdn = broker
-                .select(&strategy, ContentClass::Vod, &mut rng)
-                .expect("strategy non-empty");
+            // A non-empty strategy always selects; bail out of the arm if
+            // the broker ever declines rather than panicking mid-figure.
+            let Some(cdn) = broker.select(&strategy, ContentClass::Vod, &mut rng) else {
+                break;
+            };
             // CDN A has degraded; B is healthy.
             let quality = if cdn == CdnName::A { 0.35 } else { 1.1 };
             let network = NetworkModel::new(
@@ -273,9 +305,10 @@ pub fn run_broker() -> ExperimentResult {
                 Seconds::from_minutes(30.0),
                 Seconds::from_minutes(8.0),
             );
-            let out = Player::new(config, network, &abr)
-                .expect("valid config")
-                .play(cdn, &mut rng);
+            let Ok(mut player) = Player::new(config, network, &abr) else {
+                continue;
+            };
+            let out = player.play(cdn, &mut rng);
             if cdn == CdnName::A {
                 on_a += 1;
             }
@@ -294,17 +327,23 @@ pub fn run_broker() -> ExperimentResult {
     }
     result.tables.push(table);
 
-    let weighted = results[0].1;
-    let qoe_aware = results[1].1;
+    let [(_, weighted, _), (_, qoe_aware, qoe_share_a)] = results.as_slice() else {
+        result.checks.push(Check::new(
+            "abl-broker: both policies produced results",
+            false,
+            format!("{} policy arms completed", results.len()),
+        ));
+        return result;
+    };
     result.checks.push(Check::new(
         "abl-broker: QoE-aware brokering beats static weights on a degraded CDN",
-        qoe_aware > weighted * 1.15,
+        *qoe_aware > weighted * 1.15,
         format!("{qoe_aware:.0} vs {weighted:.0} kbps mean"),
     ));
     result.checks.push(Check::new(
         "abl-broker: QoE-aware routes most traffic off the degraded CDN",
-        results[1].2 < 35.0,
-        format!("{:.0}% of sessions stayed on CDN A", results[1].2),
+        *qoe_share_a < 35.0,
+        format!("{qoe_share_a:.0}% of sessions stayed on CDN A"),
     ));
     result
 }

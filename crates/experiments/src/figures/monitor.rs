@@ -10,7 +10,7 @@
 //! misbehaved. A fault-free control must stay perfectly silent, and the
 //! whole pipeline is seed-deterministic, which a replay fingerprint pins.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::result::{Check, ExperimentResult};
 use vmp_abr::algorithm::ThroughputRule;
@@ -93,12 +93,12 @@ fn run_population(seed: u64, profile: Option<&FaultProfile>, sink: &mut dyn Comp
     let horizon = profile.map(|p| p.horizon()).unwrap_or(Seconds(2100.0));
     let strategy = strategy();
     let broker = Broker::with_breaker(BrokerPolicy::Weighted, BreakerConfig::default());
-    let routers: HashMap<CdnName, Router> = strategy
+    let routers: BTreeMap<CdnName, Router> = strategy
         .cdns()
         .iter()
         .map(|c| (*c, Router::for_cdn(*c, 8)))
         .collect();
-    let mut edges: HashMap<CdnName, EdgeCluster> = strategy
+    let mut edges: BTreeMap<CdnName, EdgeCluster> = strategy
         .cdns()
         .iter()
         .map(|c| (*c, EdgeCluster::new(REGIONS, Bytes(2_000_000_000))))

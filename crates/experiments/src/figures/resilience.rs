@@ -13,7 +13,7 @@
 //! incidents, retries, and failovers, which the determinism check asserts
 //! by fingerprinting two independent runs of the enabled arm.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::result::{Check, ExperimentResult};
 use vmp_abr::algorithm::ThroughputRule;
@@ -112,12 +112,12 @@ fn run_arm(
     let injector = faulted.then(|| FaultInjector::new(profile));
     let strategy = strategy();
     let broker = Broker::with_breaker(BrokerPolicy::Weighted, BreakerConfig::default());
-    let routers: HashMap<CdnName, Router> = strategy
+    let routers: BTreeMap<CdnName, Router> = strategy
         .cdns()
         .iter()
         .map(|c| (*c, Router::for_cdn(*c, 8)))
         .collect();
-    let mut edges: HashMap<CdnName, EdgeCluster> = strategy
+    let mut edges: BTreeMap<CdnName, EdgeCluster> = strategy
         .cdns()
         .iter()
         .map(|c| (*c, EdgeCluster::new(REGIONS, Bytes(2_000_000_000))))

@@ -11,6 +11,7 @@
 //! `summary`.
 
 #![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 pub mod context;
@@ -67,10 +68,10 @@ fn static_id(id: &str) -> Option<&'static str> {
 
 fn timed(id: &str, f: impl FnOnce() -> Option<ExperimentResult>) -> Option<ExperimentResult> {
     let before = vmp_obs::snapshot();
-    let started = std::time::Instant::now();
+    let started = vmp_obs::Stopwatch::start();
     let _slice = static_id(id).map(vmp_obs::span);
     let mut result = f()?;
-    result.wall_time_secs = started.elapsed().as_secs_f64();
+    result.wall_time_secs = started.elapsed_secs();
     result.stages = stage_breakdown(&before, &vmp_obs::snapshot());
     Some(result)
 }

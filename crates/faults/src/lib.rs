@@ -27,6 +27,7 @@
 //! replayable.
 
 #![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 pub mod breaker;

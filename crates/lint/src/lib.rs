@@ -1,0 +1,43 @@
+//! # vmp-lint — workspace determinism & panic-policy static analyzer
+//!
+//! The platform's headline guarantees — byte-identical figure replay,
+//! seeded fault plans, a deterministic monitor experiment — were enforced
+//! only by double-run diff tests: they catch a nondeterminism bug *after*
+//! it ships, not at the line that introduced it. This crate turns those
+//! invariants into build-time law with a project-specific static pass:
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `D1` | no ambient clocks/env reads outside `crates/obs` and bin entrypoints; no `HashMap`/`HashSet` in figure paths |
+//! | `D2` | no `.unwrap()` / `.expect("…")` / `panic!`-family / literal indexing in library code (ratcheted) |
+//! | `D3` | every obs metric/span/event name matches `crates/obs/METRICS.md` |
+//! | `D4` | `#![forbid(unsafe_code)]` in every non-shim crate root |
+//! | `D5` | every `// vmp-lint: allow(...)` pragma suppresses something |
+//!
+//! Zero dependencies (no `syn`, no `proc-macro2`): a small hand-rolled
+//! lexer ([`lexer`]) tokenizes real Rust well enough to match rule
+//! patterns without ever firing inside strings, raw strings, char/byte
+//! literals, or (nested) block comments. Diagnostics are `file:line:col`,
+//! canonically sorted, exported as text or stable `--json`.
+//!
+//! Suppression is inline and auditable: `// vmp-lint: allow(D2): reason`
+//! on (or directly above) the offending line. Stale pragmas are errors
+//! (D5), so suppressions cannot outlive the code they excuse.
+//!
+//! The D2 debt that predates the analyzer is grandfathered in
+//! `lint-baseline.json` ([`baseline`]): any *new* finding fails the build,
+//! and the committed total may only decrease (CI checks the ratchet
+//! direction across commits). D1/D3/D4/D5 are hard-fail from day one.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod diag;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use baseline::{Baseline, RatchetCheck};
+pub use diag::{Diagnostic, RuleId};
+pub use engine::{analyze, Report};

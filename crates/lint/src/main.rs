@@ -1,0 +1,159 @@
+//! `vmp-lint` — run the workspace static analyzer.
+//!
+//! ```text
+//! vmp-lint [--root PATH] [--json PATH] [--baseline PATH] [--write-baseline]
+//!          [--list-rules] [--quiet]
+//! ```
+//!
+//! Exit codes: 0 clean (after the D2 ratchet), 1 findings, 2 usage/IO
+//! error. Output is canonically sorted; two runs over the same tree are
+//! byte-identical.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use vmp_lint::baseline::{self, Baseline};
+use vmp_lint::diag::{render_json, RuleId};
+use vmp_lint::engine::analyze;
+
+struct Options {
+    root: PathBuf,
+    json: Option<PathBuf>,
+    baseline: PathBuf,
+    write_baseline: bool,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Option<Options>, String> {
+    let mut opts = Options {
+        root: PathBuf::from("."),
+        json: None,
+        baseline: PathBuf::new(),
+        write_baseline: false,
+        quiet: false,
+    };
+    let mut baseline_set = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                opts.root = PathBuf::from(
+                    args.next().ok_or_else(|| "--root requires a path".to_string())?,
+                )
+            }
+            "--json" => {
+                opts.json = Some(PathBuf::from(
+                    args.next().ok_or_else(|| "--json requires a path".to_string())?,
+                ))
+            }
+            "--baseline" => {
+                opts.baseline = PathBuf::from(
+                    args.next().ok_or_else(|| "--baseline requires a path".to_string())?,
+                );
+                baseline_set = true;
+            }
+            "--write-baseline" => opts.write_baseline = true,
+            "--quiet" | "-q" => opts.quiet = true,
+            "--list-rules" => {
+                for rule in RuleId::ALL {
+                    println!("{rule}  {}", rule.summary());
+                }
+                return Ok(None);
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: vmp-lint [--root PATH] [--json PATH] [--baseline PATH] \
+                     [--write-baseline] [--list-rules] [--quiet]"
+                );
+                return Ok(None);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if !baseline_set {
+        opts.baseline = opts.root.join("lint-baseline.json");
+    }
+    Ok(Some(opts))
+}
+
+fn main() {
+    std::process::exit(match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("vmp-lint: {e}");
+            2
+        }
+    });
+}
+
+fn run() -> Result<i32, String> {
+    let Some(opts) = parse_args()? else { return Ok(0) };
+    let report = analyze(&opts.root)?;
+
+    let per_file_d2: BTreeMap<String, usize> = report.per_file(RuleId::D2);
+    let base = Baseline::load(&opts.baseline)?;
+    let ratchet = baseline::check(&per_file_d2, &base);
+
+    if opts.write_baseline {
+        let new = Baseline { files: per_file_d2.clone() };
+        std::fs::write(&opts.baseline, new.render())
+            .map_err(|e| format!("cannot write {}: {e}", opts.baseline.display()))?;
+        if !opts.quiet {
+            println!(
+                "baseline written: {} D2 finding(s) across {} file(s)",
+                new.total(),
+                new.files.len()
+            );
+        }
+    }
+
+    if let Some(json_path) = &opts.json {
+        let json = render_json(&report.diagnostics, &report.counts);
+        std::fs::write(json_path, json)
+            .map_err(|e| format!("cannot write {}: {e}", json_path.display()))?;
+    }
+
+    // Hard-fail diagnostics: everything except baselined D2.
+    let hard: Vec<_> =
+        report.diagnostics.iter().filter(|d| d.rule != RuleId::D2).collect();
+    if !opts.quiet {
+        for d in &hard {
+            println!("{}", d.render());
+        }
+        for (file, current, allowed) in &ratchet.regressions {
+            for d in report
+                .diagnostics
+                .iter()
+                .filter(|d| d.rule == RuleId::D2 && &d.file == file)
+            {
+                println!("{}", d.render());
+            }
+            println!(
+                "{file}: D2 ratchet violated: {current} finding(s), baseline allows {allowed}"
+            );
+        }
+        println!(
+            "vmp-lint: {} file-scope diagnostics ({}), D2 {} current / {} baselined / {} slack",
+            hard.len() + ratchet.regressions.len(),
+            RuleId::ALL
+                .iter()
+                .map(|r| format!("{r}={}", report.count(*r)))
+                .collect::<Vec<_>>()
+                .join(" "),
+            report.count(RuleId::D2),
+            base.total(),
+            ratchet.slack,
+        );
+        if ratchet.slack > 0 && !opts.write_baseline {
+            println!(
+                "note: {} baselined finding(s) no longer exist — run with \
+                 --write-baseline to ratchet down",
+                ratchet.slack
+            );
+        }
+    }
+
+    Ok(if hard.is_empty() && ratchet.passed() { 0 } else { 1 })
+}

@@ -1,0 +1,7 @@
+//! Fixture bin entrypoint: ambient clocks and unwraps are sanctioned here.
+
+fn main() {
+    let _ = std::time::Instant::now();
+    let args: Vec<String> = std::env::args().collect();
+    let _ = args.first().unwrap();
+}

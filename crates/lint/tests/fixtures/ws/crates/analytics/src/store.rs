@@ -1,0 +1,13 @@
+//! Fixture figure-path file: unordered containers leak iteration order
+//! into figure bytes, so every `HashMap`/`HashSet` mention fires.
+
+use std::collections::HashMap; //~ ERROR D1
+use std::collections::HashSet; //~ ERROR D1
+
+pub fn build() -> HashMap<String, u32> { //~ ERROR D1
+    HashMap::new() //~ ERROR D1
+}
+
+pub fn dedup(v: &[u32]) -> HashSet<u32> { //~ ERROR D1
+    v.iter().copied().collect()
+}

@@ -1,0 +1,3 @@
+//! Fixture crate root missing `#![forbid(unsafe_code)]`. //~ ERROR D4
+
+pub fn ok() {}

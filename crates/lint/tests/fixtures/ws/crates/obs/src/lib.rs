@@ -1,0 +1,23 @@
+#![forbid(unsafe_code)]
+//! Fixture obs crate: the sanctioned wall-clock home, plus every D3
+//! call-site shape (registered, compatible, mismatched, undocumented).
+//!
+//! These files are lexed by the lint engine but never compiled, so the
+//! free functions below don't need to resolve.
+
+use std::time::Instant;
+
+pub fn now() -> Instant {
+    Instant::now() // allowed: crates/obs is the wall-clock seam
+}
+
+pub fn record() {
+    counter("app.requests");
+    histogram("app.latency_us");
+    span("app.stage");
+    histogram("app.stage"); // a span IS a histogram: compatible
+    counter("app.latency_us"); //~ ERROR D3
+    counter("app.unregistered"); //~ ERROR D3
+    event(EventKind::Started);
+    event(EventKind::Bogus); //~ ERROR D3
+}

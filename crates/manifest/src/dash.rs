@@ -13,6 +13,10 @@ use vmp_core::ladder::{BitrateLadder, LadderRung, Resolution};
 use vmp_core::protocol::Codec;
 use vmp_core::units::{Kbps, Seconds};
 
+/// Cap on video `Representation` entries; a ladder past this is malformed
+/// input, not a plausible encoding decision.
+const MAX_REPRESENTATIONS: usize = 512;
+
 /// Renders the MPD document for a presentation.
 pub fn write_mpd(p: &MediaPresentation) -> String {
     let mut mpd = Element::new("MPD")
@@ -129,6 +133,9 @@ pub fn parse_mpd(input: &str) -> Result<MediaPresentation, ManifestError> {
                     Some(c) if c.starts_with("vp09") => Codec::Vp9,
                     _ => Codec::H264,
                 };
+                if rungs.len() >= MAX_REPRESENTATIONS {
+                    return Err(ManifestError::limit("MPD", "representations", MAX_REPRESENTATIONS));
+                }
                 rungs.push(LadderRung {
                     bitrate: Kbps((bandwidth / 1000) as u32),
                     resolution: Resolution { width, height },

@@ -11,6 +11,15 @@ use vmp_core::ladder::{LadderRung, Resolution};
 use vmp_core::protocol::Codec;
 use vmp_core::units::{Kbps, Seconds};
 
+/// Cap on variant streams in a master playlist. Real ladders top out at a
+/// couple dozen rungs; past this, the input is malformed or hostile and the
+/// parser returns [`ManifestError::Limit`] instead of allocating per line.
+const MAX_VARIANTS: usize = 512;
+
+/// Cap on segments in a media playlist (a 4-second cadence for over four
+/// days of continuous media).
+const MAX_SEGMENTS: usize = 100_000;
+
 /// A variant stream entry in a master playlist.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Variant {
@@ -232,6 +241,9 @@ pub fn parse_master(input: &str) -> Result<MasterPlaylist, ManifestError> {
             let (bandwidth, resolution, codecs) = pending.take().ok_or_else(|| {
                 ManifestError::parse("HLS", lineno, "URI without preceding STREAM-INF")
             })?;
+            if variants.len() >= MAX_VARIANTS {
+                return Err(ManifestError::limit("HLS", "variants", MAX_VARIANTS));
+            }
             variants.push(Variant { bandwidth, resolution, codecs, uri: line.to_string() });
         }
     }
@@ -291,6 +303,9 @@ pub fn parse_media(input: &str) -> Result<MediaPlaylist, ManifestError> {
             let duration = pending.take().ok_or_else(|| {
                 ManifestError::parse("HLS", lineno, "segment URI without EXTINF")
             })?;
+            if segments.len() >= MAX_SEGMENTS {
+                return Err(ManifestError::limit("HLS", "segments", MAX_SEGMENTS));
+            }
             segments.push(Segment { duration, uri: line.to_string() });
         }
     }

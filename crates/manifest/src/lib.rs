@@ -22,6 +22,7 @@
 //! the paper's methodology does.
 
 #![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 pub mod dash;

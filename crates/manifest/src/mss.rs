@@ -15,6 +15,10 @@ use vmp_core::units::{Kbps, Seconds};
 /// Default SmoothStreaming timescale: 100-ns ticks.
 const TICKS_PER_SECOND: f64 = 10_000_000.0;
 
+/// Cap on `<QualityLevel>` entries per video stream; beyond this the input
+/// is malformed and the parser errors instead of allocating per element.
+const MAX_QUALITY_LEVELS: usize = 512;
+
 /// Renders the client manifest for a presentation.
 pub fn write_manifest(p: &MediaPresentation) -> String {
     let mut root = Element::new("SmoothStreamingMedia")
@@ -106,6 +110,13 @@ pub fn parse_manifest(input: &str, base_url: &str) -> Result<MediaPresentation, 
                         Some("HVC1") => Codec::H265,
                         _ => Codec::H264,
                     };
+                    if rungs.len() >= MAX_QUALITY_LEVELS {
+                        return Err(ManifestError::limit(
+                            "MSS",
+                            "quality levels",
+                            MAX_QUALITY_LEVELS,
+                        ));
+                    }
                     rungs.push(LadderRung {
                         bitrate: Kbps((bitrate / 1000) as u32),
                         resolution: Resolution { width, height },

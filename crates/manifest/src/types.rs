@@ -22,11 +22,26 @@ pub enum ManifestError {
         /// What was unsupported.
         message: String,
     },
+    /// Structurally valid input that exceeds a parser resource cap
+    /// (variant/segment/rendition counts, XML nesting). Caps keep a
+    /// malformed or hostile manifest from exhausting memory or stack.
+    Limit {
+        /// Format being parsed.
+        format: &'static str,
+        /// Which structure hit the cap ("variants", "segments", ...).
+        what: &'static str,
+        /// The cap that was exceeded.
+        limit: usize,
+    },
 }
 
 impl ManifestError {
     pub(crate) fn parse(format: &'static str, line: usize, message: impl Into<String>) -> Self {
         ManifestError::Parse { format, line, message: message.into() }
+    }
+
+    pub(crate) fn limit(format: &'static str, what: &'static str, limit: usize) -> Self {
+        ManifestError::Limit { format, what, limit }
     }
 }
 
@@ -38,6 +53,9 @@ impl std::fmt::Display for ManifestError {
             }
             ManifestError::Unsupported { format, message } => {
                 write!(f, "{format} cannot express: {message}")
+            }
+            ManifestError::Limit { format, what, limit } => {
+                write!(f, "{format} input exceeds {what} limit of {limit}")
             }
         }
     }

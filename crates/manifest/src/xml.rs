@@ -169,9 +169,14 @@ impl std::fmt::Display for XmlError {
 
 impl std::error::Error for XmlError {}
 
+/// Maximum element nesting the parser accepts. Real manifests are a handful
+/// of levels deep; without a cap, a malformed `<a><a><a>…` document drives
+/// the recursive-descent parser into a stack overflow instead of an error.
+const MAX_DEPTH: usize = 64;
+
 /// Parses a document into its root element.
 pub fn parse(input: &str) -> Result<Element, XmlError> {
-    let mut p = Parser { input: input.as_bytes(), pos: 0 };
+    let mut p = Parser { input: input.as_bytes(), pos: 0, depth: 0 };
     p.skip_misc()?;
     let root = p.parse_element()?;
     p.skip_misc()?;
@@ -184,6 +189,7 @@ pub fn parse(input: &str) -> Result<Element, XmlError> {
 struct Parser<'a> {
     input: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -251,6 +257,19 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_element(&mut self) -> Result<Element, XmlError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(XmlError::new(
+                self.pos,
+                format!("element nesting exceeds {MAX_DEPTH} levels"),
+            ));
+        }
+        let element = self.parse_element_inner();
+        self.depth -= 1;
+        element
+    }
+
+    fn parse_element_inner(&mut self) -> Result<Element, XmlError> {
         self.expect(b'<')?;
         let name = self.parse_name()?;
         let mut element = Element::new(name);

@@ -24,6 +24,7 @@
 //!    view in the tick.
 
 #![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 pub mod alert;
@@ -108,6 +109,17 @@ pub struct HealthMonitor {
     metric_views: vmp_obs::Counter,
     metric_alerts: vmp_obs::Counter,
     metric_ticks: vmp_obs::Counter,
+}
+
+impl std::fmt::Debug for HealthMonitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HealthMonitor")
+            .field("config", &self.config)
+            .field("current_tick", &self.current_tick)
+            .field("views_ingested", &self.views_ingested)
+            .field("alerts", &self.alerts.len())
+            .finish_non_exhaustive()
+    }
 }
 
 impl HealthMonitor {

@@ -82,6 +82,16 @@ pub struct RingBufferSink {
     dropped: AtomicU64,
 }
 
+impl std::fmt::Debug for RingBufferSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RingBufferSink")
+            .field("capacity", &self.capacity)
+            .field("next_seq", &self.next_seq.load(Ordering::Relaxed))
+            .field("dropped", &self.dropped.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
 impl RingBufferSink {
     /// A sink retaining at most `capacity` events (minimum 1).
     pub fn new(capacity: usize) -> RingBufferSink {

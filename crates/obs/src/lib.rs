@@ -24,6 +24,9 @@
 //! registry's shared enabled flag, so a disabled counter increment is one
 //! relaxed load plus a branch (see `crates/bench/benches/obs_overhead.rs`).
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 mod events;
 mod export;
 mod metrics;
@@ -33,7 +36,7 @@ pub mod trace;
 pub use events::{Event, EventKind, EventSink, RingBufferSink};
 pub use export::{CounterSnapshot, GaugeSnapshot, HistogramSnapshot, RegistrySnapshot};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
-pub use span::{current_path, span, span_in, Span};
+pub use span::{current_path, span, span_in, Span, Stopwatch};
 pub use trace::{
     chrome_trace_json, set_tracing, trace_counter, trace_dropped, trace_events, trace_instant,
     tracing_enabled, TraceEvent,

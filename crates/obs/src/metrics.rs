@@ -200,6 +200,15 @@ pub struct MetricsRegistry {
     events: RingBufferSink,
 }
 
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry")
+            .field("enabled", &self.enabled.load(Ordering::Relaxed))
+            .field("events", &self.events)
+            .finish_non_exhaustive()
+    }
+}
+
 impl Default for MetricsRegistry {
     fn default() -> MetricsRegistry {
         MetricsRegistry::new()

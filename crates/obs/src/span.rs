@@ -10,6 +10,36 @@ thread_local! {
     static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
 }
 
+/// A plain wall-clock stopwatch.
+///
+/// vmp-obs is the only crate allowed to read ambient clocks (`vmp-lint`
+/// rule D1); library code that needs elapsed wall time without a named
+/// histogram uses a `Stopwatch` instead of `Instant::now()` directly, which
+/// keeps every wall-clock read behind one auditable seam.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    #[allow(clippy::new_without_default)]
+    pub fn start() -> Stopwatch {
+        Stopwatch { start: Instant::now() }
+    }
+
+    /// Seconds elapsed since [`Stopwatch::start`].
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Nanoseconds elapsed since [`Stopwatch::start`], saturating at
+    /// `u64::MAX`.
+    pub fn elapsed_nanos(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
 /// Times a pipeline stage from construction to drop, recording the elapsed
 /// nanoseconds into the named histogram of the registry it was opened
 /// against. Spans nest: the thread-local stack tracks enclosing stage
@@ -19,6 +49,15 @@ pub struct Span {
     start: Option<Instant>,
     histogram: Histogram,
     depth: usize,
+}
+
+impl std::fmt::Debug for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Span")
+            .field("name", &self.name)
+            .field("depth", &self.depth)
+            .finish_non_exhaustive()
+    }
 }
 
 /// Opens a span on the global registry (see [`span_in`]).

@@ -17,6 +17,7 @@
 //!   *protocol-titles* complexity metric (§5) counts these jobs.
 
 #![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 pub mod chunker;

@@ -12,6 +12,7 @@
 //! that Conviva embeds in players.
 
 #![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 pub mod hooks;

@@ -145,6 +145,16 @@ pub struct MultiCdnContext<'a> {
     pub infrastructure: &'a mut dyn FnMut(&ChunkRequest, &mut Rng) -> Result<ChunkServe, FetchError>,
 }
 
+impl std::fmt::Debug for MultiCdnContext<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiCdnContext")
+            .field("failure_probability", &self.failure_probability)
+            .field("failover_enabled", &self.failover_enabled)
+            .field("health_gate", &self.health_gate)
+            .finish_non_exhaustive()
+    }
+}
+
 /// How the CDN served one chunk.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ChunkServe {
@@ -187,12 +197,12 @@ pub enum ExitCause {
 /// `faults: None` closure consumes the same RNG stream as the pre-fault
 /// implementation.
 pub fn infrastructure_fn<'a>(
-    routers: &'a std::collections::HashMap<CdnName, Router>,
-    edges: &'a mut std::collections::HashMap<CdnName, EdgeCluster>,
+    routers: &'a std::collections::BTreeMap<CdnName, Router>,
+    edges: &'a mut std::collections::BTreeMap<CdnName, EdgeCluster>,
     region_index: usize,
     faults: Option<&'a FaultInjector>,
 ) -> impl FnMut(&ChunkRequest, &mut Rng) -> Result<ChunkServe, FetchError> + 'a {
-    let mut last_flush: std::collections::HashMap<CdnName, Seconds> = std::collections::HashMap::new();
+    let mut last_flush: std::collections::BTreeMap<CdnName, Seconds> = std::collections::BTreeMap::new();
     move |req, rng| {
         let cdn = req.cdn;
         let region = Some(region_index);
@@ -302,6 +312,15 @@ pub struct Player<'a> {
     network: NetworkModel,
     abr: &'a dyn AbrAlgorithm,
     metrics: SessionMetrics,
+}
+
+impl std::fmt::Debug for Player<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Player")
+            .field("config", &self.config)
+            .field("abr", &self.abr.name())
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'a> Player<'a> {

@@ -88,6 +88,18 @@ impl LogNormal {
         LogNormal::new(median.ln(), spread.ln())
     }
 
+    /// Infallible [`LogNormal::from_median_spread`]: clamps `median` to a
+    /// positive floor and `spread` to ≥ 1 instead of erroring, for callers
+    /// whose inputs are already range-checked and who must not panic
+    /// (vmp-lint D2 forbids `expect` in library code).
+    pub fn clamped_median_spread(median: f64, spread: f64) -> Self {
+        let median = if median.is_finite() && median > 0.0 { median } else { f64::MIN_POSITIVE };
+        let spread = if spread.is_finite() && spread > 1.0 { spread } else { 1.0 };
+        LogNormal {
+            norm: Normal { mean: median.ln(), std_dev: spread.ln() },
+        }
+    }
+
     /// The distribution median (`exp(mu)`).
     pub fn median(&self) -> f64 {
         self.norm.mean().exp()
@@ -189,6 +201,13 @@ impl Zipf {
         Ok(Zipf { cumulative })
     }
 
+    /// The degenerate single-rank distribution (always samples rank 0).
+    /// The infallible fallback for callers whose `n` is data-driven and
+    /// who must not panic (vmp-lint D2).
+    pub fn unit() -> Self {
+        Zipf { cumulative: vec![1.0] }
+    }
+
     /// Number of ranks.
     pub fn len(&self) -> usize {
         self.cumulative.len()
@@ -208,7 +227,7 @@ impl Distribution for Zipf {
         let u = rng.f64();
         match self
             .cumulative
-            .binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite"))
+            .binary_search_by(|c| c.total_cmp(&u))
         {
             Ok(i) => i,
             Err(i) => i.min(self.cumulative.len() - 1),
@@ -245,6 +264,14 @@ impl Discrete {
         Ok(Discrete { cumulative })
     }
 
+    /// Infallible [`Discrete::new`]: degrades to a single always-zero
+    /// category when the weights are empty, negative, non-finite, or all
+    /// zero, so data-driven mixes can fall back to their first entry
+    /// instead of panicking (vmp-lint D2).
+    pub fn new_or_unit(weights: &[f64]) -> Self {
+        Discrete::new(weights).unwrap_or_else(|_| Discrete { cumulative: vec![1.0] })
+    }
+
     /// Number of categories.
     pub fn len(&self) -> usize {
         self.cumulative.len()
@@ -264,7 +291,7 @@ impl Distribution for Discrete {
         let u = rng.f64();
         match self
             .cumulative
-            .binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite"))
+            .binary_search_by(|c| c.total_cmp(&u))
         {
             Ok(i) => i,
             Err(i) => i.min(self.cumulative.len() - 1),

@@ -21,6 +21,7 @@
 //! dependencies outside `std`.
 
 #![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 pub mod curves;

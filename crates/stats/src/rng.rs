@@ -53,10 +53,11 @@ impl Rng {
     /// child. Forking never advances the parent.
     pub fn fork(&self, label: u64) -> Rng {
         // Mix the full parent state with the label through splitmix64.
-        let mut sm = self.s[0]
-            ^ self.s[1].rotate_left(16)
-            ^ self.s[2].rotate_left(32)
-            ^ self.s[3].rotate_left(48)
+        let [s0, s1, s2, s3] = self.s;
+        let mut sm = s0
+            ^ s1.rotate_left(16)
+            ^ s2.rotate_left(32)
+            ^ s3.rotate_left(48)
             ^ label.wrapping_mul(0xD1B54A32D192ED03);
         let s = [
             splitmix64(&mut sm),
@@ -70,14 +71,15 @@ impl Rng {
     /// Next 64 random bits.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
-        let t = self.s[1] << 17;
-        self.s[2] ^= self.s[0];
-        self.s[3] ^= self.s[1];
-        self.s[1] ^= self.s[2];
-        self.s[0] ^= self.s[3];
-        self.s[2] ^= t;
-        self.s[3] = self.s[3].rotate_left(45);
+        let [s0, s1, s2, s3] = &mut self.s;
+        let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = *s1 << 17;
+        *s2 ^= *s0;
+        *s3 ^= *s1;
+        *s1 ^= *s2;
+        *s0 ^= *s3;
+        *s2 ^= t;
+        *s3 = s3.rotate_left(45);
         result
     }
 

@@ -23,6 +23,7 @@
 //! * [`syndigraph`] — the owner↔syndicator graph (§6 / Fig 14).
 
 #![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 pub mod ecosystem;

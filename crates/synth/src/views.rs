@@ -76,9 +76,9 @@ pub fn generate_views(
     let n = ((plane.vh_day / trends::X_VIEW_HOURS).powf(0.45) * 30.0) as usize;
     let n = n.clamp(cfg.min_samples, cfg.max_samples);
 
-    let platform_dist = Discrete::new(&plane.platform_weights)
-        .unwrap_or_else(|_| Discrete::new(&[1.0]).expect("unit weight"));
-    let title_dist = Zipf::new(plane.titles.min(5_000) as usize, 0.8).expect("titles >= 1");
+    let platform_dist = Discrete::new_or_unit(&plane.platform_weights);
+    let title_dist =
+        Zipf::new(plane.titles.clamp(1, 5_000) as usize, 0.8).unwrap_or_else(|_| Zipf::unit());
     let broker = Broker::new(BrokerPolicy::Weighted);
     let faults = cfg.faults.as_ref().map(|p| FaultInjector::new(p.clone()));
 
@@ -92,11 +92,12 @@ pub fn generate_views(
         let protocol = sample_protocol(plane, profile, device, t, rng);
         let cdn = broker
             .select(&plane.strategy, class, rng)
-            .unwrap_or_else(|| plane.strategy.cdns()[0]);
+            .or_else(|| plane.strategy.cdns().first().copied())
+            .unwrap_or(CdnName::A);
 
         // Duration (hours) from the per-platform model, floored at 30 s.
         let (median, spread) = trends::duration_model(platform);
-        let duration_dist = LogNormal::from_median_spread(median, spread).expect("valid model");
+        let duration_dist = LogNormal::clamped_median_spread(median, spread);
         let hours = duration_dist.sample(rng).clamp(30.0 / 3600.0, 6.0);
         let watch = Seconds::from_hours(hours);
 
@@ -123,9 +124,12 @@ pub fn generate_views(
                 Seconds(injector.profile().horizon().0 * (i as f64 / n as f64));
         }
         let abr = abr_for_device(device);
-        let mut outcome = Player::new(playback, network, abr.as_ref())
-            .expect("playback config is valid")
-            .play_with(cdn, faults.as_ref(), rng);
+        // `vod`/`live` configs always validate; skip the view rather than
+        // panic if that invariant ever breaks.
+        let Ok(mut player) = Player::new(playback, network, abr.as_ref()) else {
+            continue;
+        };
+        let mut outcome = player.play_with(cdn, faults.as_ref(), rng);
         // Extrapolate the truncated QoE to the full view.
         if outcome.qoe.played.0 > 0.0 && watch.0 > outcome.qoe.played.0 {
             let scale = watch.0 / outcome.qoe.played.0;
@@ -208,7 +212,7 @@ fn sample_device(platform: Platform, t: f64, rng: &mut Rng) -> DeviceModel {
                 .iter()
                 .map(|tech| trends::browser_tech_share(*tech).at(t).max(0.0))
                 .collect();
-            let dist = Discrete::new(&weights).expect("browser mix");
+            let dist = Discrete::new_or_unit(&weights);
             DeviceModel::DesktopBrowser(BrowserTech::ALL[dist.sample(rng)])
         }
         Platform::MobileApp => {
@@ -226,14 +230,14 @@ fn sample_device(platform: Platform, t: f64, rng: &mut Rng) -> DeviceModel {
                 [DeviceModel::Roku, DeviceModel::AppleTv, DeviceModel::FireTv, DeviceModel::Chromecast];
             let weights: Vec<f64> =
                 devices.iter().map(|d| trends::settop_device_share(*d).at(t).max(0.0)).collect();
-            let dist = Discrete::new(&weights).expect("settop mix");
+            let dist = Discrete::new_or_unit(&weights);
             devices[dist.sample(rng)]
         }
         Platform::SmartTv => {
             let devices = [DeviceModel::SamsungTv, DeviceModel::LgTv, DeviceModel::VizioTv];
             let weights: Vec<f64> =
                 devices.iter().map(|d| trends::smarttv_device_share(*d).at(t).max(0.0)).collect();
-            let dist = Discrete::new(&weights).expect("tv mix");
+            let dist = Discrete::new_or_unit(&weights);
             devices[dist.sample(rng)]
         }
         Platform::GameConsole => {
@@ -276,7 +280,7 @@ fn sample_protocol(
         // Silverlight view at a DASH/HLS-only publisher): fall back to the
         // publisher's primary protocol — never to a protocol outside its
         // management plane, which would corrupt the support analyses.
-        Err(_) => plane.protocols[0],
+        Err(_) => plane.protocols.first().copied().unwrap_or(StreamingProtocol::Hls),
     }
 }
 
@@ -299,7 +303,7 @@ fn sample_ownership(
 }
 
 fn sample_region(rng: &mut Rng) -> Region {
-    let dist = Discrete::new(&[0.10, 0.38, 0.22, 0.15, 0.10, 0.05]).expect("static");
+    let dist = Discrete::new_or_unit(&[0.10, 0.38, 0.22, 0.15, 0.10, 0.05]);
     Region::ALL[dist.sample(rng)]
 }
 

@@ -13,7 +13,7 @@
 //!
 //! [`HealthMonitor`]: vmp::monitor::HealthMonitor
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use vmp::abr::algorithm::ThroughputRule;
 use vmp::abr::network::{NetworkModel, NetworkProfile};
@@ -124,9 +124,9 @@ fn run_population(seed: u64, profile: &FaultProfile, sink: &mut dyn CompletionSi
     ])
     .expect("valid strategy");
     let broker = Broker::with_breaker(BrokerPolicy::Weighted, BreakerConfig::default());
-    let routers: HashMap<CdnName, Router> =
+    let routers: BTreeMap<CdnName, Router> =
         strategy.cdns().iter().map(|c| (*c, Router::for_cdn(*c, 8))).collect();
-    let mut edges: HashMap<CdnName, EdgeCluster> = strategy
+    let mut edges: BTreeMap<CdnName, EdgeCluster> = strategy
         .cdns()
         .iter()
         .map(|c| (*c, EdgeCluster::new(REGIONS, Bytes(2_000_000_000))))

@@ -6,7 +6,7 @@
 //! cargo run --release --example multi_cdn_failover
 //! ```
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use vmp::abr::algorithm::Bba;
 use vmp::abr::network::{NetworkModel, NetworkProfile};
 use vmp::cdn::broker::{Broker, BrokerPolicy};
@@ -38,11 +38,11 @@ fn main() {
     );
 
     // Real per-CDN infrastructure: routers (B is anycast) + edge clusters.
-    let routers: HashMap<CdnName, Router> = CdnName::MAJORS
+    let routers: BTreeMap<CdnName, Router> = CdnName::MAJORS
         .iter()
         .map(|c| (*c, Router::for_cdn(*c, 16)))
         .collect();
-    let mut edges: HashMap<CdnName, EdgeCluster> = CdnName::MAJORS
+    let mut edges: BTreeMap<CdnName, EdgeCluster> = CdnName::MAJORS
         .iter()
         // Four edges: sessions spread over four regions below, and an edge
         // cluster now rejects out-of-range regions instead of silently
@@ -58,7 +58,7 @@ fn main() {
     let abr = Bba { reservoir: Seconds(3.0), cushion: Seconds(10.0) };
 
     let mut rng = Rng::seed_from(90);
-    let mut totals: HashMap<CdnName, (u32, f64)> = HashMap::new();
+    let mut totals: BTreeMap<CdnName, (u32, f64)> = BTreeMap::new();
     let mut failovers = 0u32;
     for session in 0..60 {
         let network =

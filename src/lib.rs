@@ -1,4 +1,7 @@
 //! Facade crate re-exporting the whole `vmp` workspace.
+
+#![forbid(unsafe_code)]
+
 pub use vmp_abr as abr;
 pub use vmp_analytics as analytics;
 pub use vmp_cdn as cdn;
