@@ -1,0 +1,191 @@
+//! `vmp-bench` — perf-history recorder and regression gate.
+//!
+//! ```text
+//! vmp-bench append  [--results PATH] [--report PATH] [--history PATH] [--label L] [--at T]
+//! vmp-bench compare --baseline PATH --current PATH [--tolerance R] [--min-abs X]
+//! ```
+//!
+//! `append` extracts a flat metric map from the merged Criterion results
+//! (`vmp-bench/1`, default `results/BENCH_results.json`) and/or a
+//! `vmp-report/1` run report, and appends one JSON line per source to the
+//! history file (default `results/BENCH_history.jsonl`). `--label`
+//! defaults to `$GITHUB_SHA` or `local`; `--at` defaults to the current
+//! unix timestamp.
+//!
+//! `compare` is the CI perf gate: it extracts metrics from two documents
+//! (each may be Criterion results or a run report — the schema field
+//! decides) and exits 1 when any shared metric regressed beyond
+//! `baseline × tolerance` (default 1.5×) with an absolute increase above
+//! `--min-abs` (default 50, i.e. 50ns for Criterion metrics).
+
+use std::collections::BTreeMap;
+
+use vmp_bench::{compare, entry_from_bench_results, entry_from_run_report, Tolerance};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("append") => run_append(&args[1..]),
+        Some("compare") => run_compare(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            eprintln!(
+                "usage:\n  vmp-bench append  [--results PATH] [--report PATH] \
+                 [--history PATH] [--label L] [--at T]\n  vmp-bench compare --baseline PATH \
+                 --current PATH [--tolerance R] [--min-abs X]"
+            );
+            if args.is_empty() {
+                std::process::exit(2);
+            }
+        }
+        Some(other) => {
+            eprintln!("unknown subcommand `{other}` (expected `append` or `compare`)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn load_json(path: &str) -> serde_json::Value {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!("{path} is not valid JSON: {e:?}");
+        std::process::exit(2);
+    })
+}
+
+/// Extracts a flat metric map from either supported document schema.
+fn metrics_from(path: &str) -> BTreeMap<String, f64> {
+    let doc = load_json(path);
+    let schema = doc.get("schema").and_then(|v| v.as_str()).unwrap_or("").to_string();
+    let extracted = match schema.as_str() {
+        "vmp-bench/1" => entry_from_bench_results(&doc, "", ""),
+        "vmp-report/1" => entry_from_run_report(&doc, "", ""),
+        other => {
+            eprintln!("{path}: unsupported schema `{other}` (expected vmp-bench/1 or vmp-report/1)");
+            std::process::exit(2);
+        }
+    };
+    match extracted {
+        Ok(entry) => entry.metrics,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run_append(args: &[String]) {
+    let results_path = flag_value(args, "--results");
+    let report_path = flag_value(args, "--report");
+    let history_path = flag_value(args, "--history")
+        .unwrap_or_else(|| "results/BENCH_history.jsonl".to_string());
+    let label = flag_value(args, "--label")
+        .or_else(|| std::env::var("GITHUB_SHA").ok())
+        .unwrap_or_else(|| "local".to_string());
+    let at = flag_value(args, "--at").unwrap_or_else(|| {
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs().to_string())
+            .unwrap_or_default()
+    });
+
+    let (results_path, report_path) = match (results_path, report_path) {
+        (None, None) => {
+            // Default: the committed Criterion results, if present.
+            let default = "results/BENCH_results.json".to_string();
+            if !std::path::Path::new(&default).exists() {
+                eprintln!("append needs --results and/or --report (no {default} found)");
+                std::process::exit(2);
+            }
+            (Some(default), None)
+        }
+        other => other,
+    };
+
+    let mut lines = Vec::new();
+    if let Some(path) = results_path {
+        let doc = load_json(&path);
+        match entry_from_bench_results(&doc, &label, &at) {
+            Ok(entry) => lines.push((path, entry)),
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(path) = report_path {
+        let doc = load_json(&path);
+        match entry_from_run_report(&doc, &label, &at) {
+            Ok(entry) => lines.push((path, entry)),
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut text = std::fs::read_to_string(&history_path).unwrap_or_default();
+    if !text.is_empty() && !text.ends_with('\n') {
+        text.push('\n');
+    }
+    for (path, entry) in &lines {
+        text.push_str(&entry.to_json_line());
+        text.push('\n');
+        eprintln!(
+            "appended {} metric(s) from {path} (source={}, label={})",
+            entry.metrics.len(),
+            entry.source,
+            entry.label
+        );
+    }
+    if let Err(e) = std::fs::write(&history_path, text) {
+        eprintln!("cannot write {history_path}: {e}");
+        std::process::exit(2);
+    }
+    eprintln!("history: {history_path}");
+}
+
+fn run_compare(args: &[String]) {
+    let baseline_path = flag_value(args, "--baseline").unwrap_or_else(|| {
+        eprintln!("compare requires --baseline PATH");
+        std::process::exit(2);
+    });
+    let current_path = flag_value(args, "--current").unwrap_or_else(|| {
+        eprintln!("compare requires --current PATH");
+        std::process::exit(2);
+    });
+    let mut tolerance = Tolerance::default();
+    if let Some(ratio) = flag_value(args, "--tolerance") {
+        tolerance.ratio = ratio.parse().unwrap_or_else(|_| {
+            eprintln!("--tolerance requires a number (e.g. 1.5)");
+            std::process::exit(2);
+        });
+    }
+    if let Some(min_abs) = flag_value(args, "--min-abs") {
+        tolerance.min_abs = min_abs.parse().unwrap_or_else(|_| {
+            eprintln!("--min-abs requires a number");
+            std::process::exit(2);
+        });
+    }
+
+    let baseline = metrics_from(&baseline_path);
+    let current = metrics_from(&current_path);
+    let report = compare(&baseline, &current, &tolerance);
+    print!("{}", report.render());
+    if report.passed() {
+        eprintln!("perf gate PASS ({} metric(s) within {:.2}x)", report.checked, tolerance.ratio);
+    } else {
+        eprintln!(
+            "perf gate FAIL: {} metric(s) regressed beyond {:.2}x",
+            report.regressions.len(),
+            tolerance.ratio
+        );
+        std::process::exit(1);
+    }
+}

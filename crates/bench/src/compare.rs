@@ -1,0 +1,224 @@
+//! Per-metric regression gates against a committed baseline.
+//!
+//! [`compare`] takes two flat metric maps (as produced by
+//! [`crate::history`]) and flags every metric whose current value exceeds
+//! `baseline × ratio` — the CI perf gate behind `vmp-bench compare`.
+//! Ratios rather than absolute deltas keep one tolerance meaningful across
+//! nanosecond micro-benchmarks and multi-second full runs; a small
+//! absolute floor (`min_abs`) stops sub-noise metrics (a 3ns counter
+//! bump) from tripping the gate.
+
+use std::collections::BTreeMap;
+
+use serde::Serialize;
+
+/// Gate configuration.
+#[derive(Debug, Clone, Serialize)]
+pub struct Tolerance {
+    /// A metric regresses when `current > baseline * ratio` (default 1.5:
+    /// 50% headroom over the committed baseline, sized for shared-runner
+    /// noise).
+    pub ratio: f64,
+    /// Ignore regressions whose absolute increase is below this (same unit
+    /// as the metric; default 50, i.e. 50ns for Criterion metrics —
+    /// micro-bench jitter, microscopic for seconds-scale run metrics).
+    pub min_abs: f64,
+    /// Per-metric ratio overrides (name → ratio), for known-noisy metrics.
+    pub overrides: BTreeMap<String, f64>,
+}
+
+impl Default for Tolerance {
+    fn default() -> Tolerance {
+        Tolerance { ratio: 1.5, min_abs: 50.0, overrides: BTreeMap::new() }
+    }
+}
+
+impl Tolerance {
+    /// A uniform-ratio tolerance.
+    pub fn ratio(ratio: f64) -> Tolerance {
+        Tolerance { ratio, ..Tolerance::default() }
+    }
+
+    fn ratio_for(&self, metric: &str) -> f64 {
+        self.overrides.get(metric).copied().unwrap_or(self.ratio)
+    }
+}
+
+/// One metric's baseline-vs-current movement.
+#[derive(Debug, Clone, Serialize)]
+pub struct Delta {
+    /// Metric name.
+    pub name: String,
+    /// Committed baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// `current / baseline` (`inf` when the baseline is 0).
+    pub ratio: f64,
+    /// The gate this metric was judged against.
+    pub allowed_ratio: f64,
+}
+
+/// The gate's verdict over a full metric map.
+#[derive(Debug, Clone, Serialize)]
+pub struct CompareReport {
+    /// Metrics beyond tolerance (gate fails when non-empty).
+    pub regressions: Vec<Delta>,
+    /// Metrics that got faster by more than the tolerance (informational).
+    pub improvements: Vec<Delta>,
+    /// Baseline metrics absent from the current run (informational — a
+    /// renamed or deleted benchmark).
+    pub missing: Vec<String>,
+    /// Current metrics absent from the baseline (new benchmarks).
+    pub added: Vec<String>,
+    /// Metrics present on both sides and judged.
+    pub checked: usize,
+}
+
+impl CompareReport {
+    /// Whether the gate passes (no regressions).
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+
+    /// Human-readable multi-line rendering.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "compared {} metric(s): {} regression(s), {} improvement(s), {} missing, {} added\n",
+            self.checked,
+            self.regressions.len(),
+            self.improvements.len(),
+            self.missing.len(),
+            self.added.len(),
+        ));
+        for d in &self.regressions {
+            out.push_str(&format!(
+                "  REGRESSION {}: {:.1} -> {:.1} ({:.2}x, allowed {:.2}x)\n",
+                d.name, d.baseline, d.current, d.ratio, d.allowed_ratio
+            ));
+        }
+        for d in &self.improvements {
+            out.push_str(&format!(
+                "  improved   {}: {:.1} -> {:.1} ({:.2}x)\n",
+                d.name, d.baseline, d.current, d.ratio
+            ));
+        }
+        for name in &self.missing {
+            out.push_str(&format!("  missing    {name} (in baseline, not in current)\n"));
+        }
+        for name in &self.added {
+            out.push_str(&format!("  added      {name} (no baseline yet)\n"));
+        }
+        out
+    }
+}
+
+/// Judges `current` against `baseline` under `tolerance`. Lower is better
+/// for every metric (nanoseconds, seconds, bytes).
+pub fn compare(
+    baseline: &BTreeMap<String, f64>,
+    current: &BTreeMap<String, f64>,
+    tolerance: &Tolerance,
+) -> CompareReport {
+    let mut regressions = Vec::new();
+    let mut improvements = Vec::new();
+    let mut missing = Vec::new();
+    let mut checked = 0usize;
+    for (name, &base) in baseline {
+        let Some(&cur) = current.get(name) else {
+            missing.push(name.clone());
+            continue;
+        };
+        checked += 1;
+        let allowed = tolerance.ratio_for(name);
+        let ratio = if base > 0.0 { cur / base } else if cur > 0.0 { f64::INFINITY } else { 1.0 };
+        let delta = Delta {
+            name: name.clone(),
+            baseline: base,
+            current: cur,
+            ratio,
+            allowed_ratio: allowed,
+        };
+        if ratio > allowed && (cur - base) > tolerance.min_abs {
+            regressions.push(delta);
+        } else if allowed > 0.0 && ratio < 1.0 / allowed {
+            improvements.push(delta);
+        }
+    }
+    let added = current.keys().filter(|k| !baseline.contains_key(*k)).cloned().collect();
+    // Worst offenders first, so the gate's failure output leads with the
+    // biggest regression.
+    regressions.sort_by(|a, b| b.ratio.partial_cmp(&a.ratio).unwrap_or(std::cmp::Ordering::Equal));
+    improvements.sort_by(|a, b| a.ratio.partial_cmp(&b.ratio).unwrap_or(std::cmp::Ordering::Equal));
+    CompareReport { regressions, improvements, missing, added, checked }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(pairs: &[(&str, f64)]) -> BTreeMap<String, f64> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let base = map(&[("a", 100.0), ("b", 5000.0)]);
+        let report = compare(&base, &base, &Tolerance::default());
+        assert!(report.passed());
+        assert_eq!(report.checked, 2);
+        assert!(report.improvements.is_empty());
+    }
+
+    #[test]
+    fn synthetic_2x_slowdown_trips_the_gate() {
+        let base = map(&[("a", 1000.0), ("b", 5000.0)]);
+        let slow = map(&[("a", 2000.0), ("b", 5000.0)]);
+        let report = compare(&base, &slow, &Tolerance::default());
+        assert!(!report.passed(), "2x slowdown must fail the 1.5x gate");
+        assert_eq!(report.regressions.len(), 1);
+        assert_eq!(report.regressions.first().map(|d| d.name.as_str()), Some("a"));
+        assert!(report.render().contains("REGRESSION a"));
+    }
+
+    #[test]
+    fn sub_noise_absolute_deltas_are_ignored() {
+        // 3ns -> 9ns is 3x but only +6ns: below the 50ns floor.
+        let base = map(&[("tiny", 3.0)]);
+        let cur = map(&[("tiny", 9.0)]);
+        assert!(compare(&base, &cur, &Tolerance::default()).passed());
+    }
+
+    #[test]
+    fn per_metric_overrides_loosen_the_gate() {
+        let base = map(&[("noisy", 1000.0)]);
+        let cur = map(&[("noisy", 2500.0)]);
+        assert!(!compare(&base, &cur, &Tolerance::default()).passed());
+        let mut tol = Tolerance::default();
+        tol.overrides.insert("noisy".to_string(), 3.0);
+        assert!(compare(&base, &cur, &tol).passed());
+    }
+
+    #[test]
+    fn missing_and_added_metrics_are_informational() {
+        let base = map(&[("gone", 10.0), ("kept", 10.0)]);
+        let cur = map(&[("kept", 10.0), ("new", 10.0)]);
+        let report = compare(&base, &cur, &Tolerance::default());
+        assert!(report.passed());
+        assert_eq!(report.missing, vec!["gone".to_string()]);
+        assert_eq!(report.added, vec!["new".to_string()]);
+        let text = report.render();
+        assert!(text.contains("missing    gone"));
+        assert!(text.contains("added      new"));
+    }
+
+    #[test]
+    fn improvements_are_reported_not_gated() {
+        let base = map(&[("fast", 10000.0)]);
+        let cur = map(&[("fast", 4000.0)]);
+        let report = compare(&base, &cur, &Tolerance::default());
+        assert!(report.passed());
+        assert_eq!(report.improvements.len(), 1);
+    }
+}

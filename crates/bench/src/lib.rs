@@ -1,3 +1,28 @@
-//! Benchmark-only crate; see `benches/`.
+//! vmp-bench: benchmark harness plus the perf-history subsystem.
+//!
+//! The `benches/` directory regenerates every table and figure of the
+//! paper under Criterion; this library adds the trajectory layer on top:
+//!
+//! - [`history`]: append-only `results/BENCH_history.jsonl` records — one
+//!   JSON line per bench or full-repro run, extracted from the merged
+//!   Criterion results (`vmp-bench/1`) or a `vmp-report/1` run report —
+//!   so the BENCH trajectory across PRs is a file diff, not archaeology;
+//! - [`compare`]: per-metric ratio gates flagging regressions of a fresh
+//!   run against the committed baseline. `vmp-bench compare` wires this
+//!   as the CI regression gate.
+//!
+//! The `vmp-bench` binary (`src/bin/vmp-bench.rs`) fronts both: `append`
+//! extracts + appends history lines, `compare` exits nonzero when any
+//! metric regresses beyond tolerance.
 
 #![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+#![warn(missing_docs)]
+
+pub mod compare;
+pub mod history;
+
+pub use compare::{compare, CompareReport, Delta, Tolerance};
+pub use history::{
+    entry_from_bench_results, entry_from_run_report, parse_history, HistoryEntry, HISTORY_SCHEMA,
+};

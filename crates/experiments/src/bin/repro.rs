@@ -2,28 +2,64 @@
 //!
 //! Usage:
 //! ```text
-//! repro [--quick] [--seed N] [--experiment ID] [--json PATH] [--metrics PATH] [--trace PATH] [ID ...]
+//! repro [--quick] [--seed N] [--experiment ID] [--json PATH] [--metrics PATH]
+//!       [--trace PATH] [--report PATH] [--flame PATH] [--sample-ms N] [ID ...]
 //! ```
-//! With no IDs, runs everything in paper order. `--quick` uses the reduced
-//! ecosystem (CI-sized); the default is the full EXPERIMENTS.md run.
-//! `--seed N` overrides the master seed; `--experiment ID` is equivalent to
-//! a bare ID; `--metrics PATH` dumps a JSON snapshot of the observability
-//! registry (counters, histograms with p50/p90/p99, recent pipeline events)
-//! after the run; `--trace PATH` records every span, monitor window sample,
-//! and alert as Chrome `trace_event` JSON (load it at `chrome://tracing` or
-//! <https://ui.perfetto.dev>). When every requested ID is standalone
-//! (ablations and scenarios such as `resilience` or `monitor`), the
-//! ecosystem is not generated at all.
+//! With no IDs (or the alias `all`), runs everything in paper order.
+//! `--quick` uses the reduced ecosystem (CI-sized); the default is the full
+//! EXPERIMENTS.md run. `--seed N` overrides the master seed;
+//! `--experiment ID` is equivalent to a bare ID; `--metrics PATH` dumps a
+//! JSON snapshot of the observability registry after the run; `--trace
+//! PATH` records every span, monitor window sample, and alert as Chrome
+//! `trace_event` JSON (load it at `chrome://tracing` or
+//! <https://ui.perfetto.dev>).
+//!
+//! Telemetry-plane outputs:
+//!
+//! - `--report PATH` writes the unified `vmp-report/1` run report (JSON)
+//!   plus a rendered Markdown twin next to it (`PATH` with extension
+//!   `.md`): per-experiment outcomes, top-level stage table, span profile,
+//!   resource timeline, metrics snapshot, and drop diagnostics. Arms the
+//!   span profiler and the background resource sampler.
+//! - `--flame PATH` writes the aggregated span profile as folded stacks
+//!   (`path;to;span COUNT` lines, inferno/flamegraph.pl compatible). Arms
+//!   the span profiler.
+//! - `--sample-ms N` sets the resource-sampler interval (default 50 ms).
+//!
+//! When every requested ID is standalone (ablations and scenarios such as
+//! `resilience` or `monitor`), the ecosystem is not generated at all.
+//!
+//! Drop/saturation diagnostics (obs event-ring evictions, trace-collector
+//! saturation, timeline evictions) are always surfaced on stderr when
+//! nonzero, and embedded in `--json` / `--report` output.
 
+use serde::Serialize;
 use vmp_experiments::{
-    is_standalone, run, run_standalone, ReproContext, Scale, ABLATIONS, ALL_EXPERIMENTS, SCENARIOS,
+    is_standalone, run, run_standalone, Diagnostics, ExperimentResult, ReproContext, RunReport,
+    Scale, ABLATIONS, ALL_EXPERIMENTS, SCENARIOS,
 };
+
+/// Schema of the `--json` summary document.
+const RUN_SCHEMA: &str = "vmp-run/1";
+
+/// The `--json` output: full experiment results plus drop diagnostics.
+#[derive(Debug, Serialize)]
+struct JsonSummary {
+    schema: String,
+    seed: u64,
+    scale: String,
+    experiments: Vec<ExperimentResult>,
+    diagnostics: Diagnostics,
+}
 
 fn main() {
     let mut scale = Scale::Full;
     let mut json_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
+    let mut report_path: Option<String> = None;
+    let mut flame_path: Option<String> = None;
+    let mut sample_ms: u64 = 50;
     let mut seed: Option<u64> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -32,7 +68,7 @@ fn main() {
             "--quick" => scale = Scale::Quick,
             "--ablations" => ids.extend(ABLATIONS.iter().map(|s| s.to_string())),
             "--experiment" => match args.next() {
-                Some(id) => ids.push(id),
+                Some(id) => push_id(&mut ids, &id),
                 None => {
                     eprintln!("--experiment requires an ID");
                     std::process::exit(2);
@@ -59,6 +95,29 @@ fn main() {
                     std::process::exit(2);
                 }
             }
+            "--report" => {
+                report_path = args.next();
+                if report_path.is_none() {
+                    eprintln!("--report requires a path");
+                    std::process::exit(2);
+                }
+            }
+            "--flame" => {
+                flame_path = args.next();
+                if flame_path.is_none() {
+                    eprintln!("--flame requires a path");
+                    std::process::exit(2);
+                }
+            }
+            "--sample-ms" => {
+                sample_ms = match args.next().map(|s| s.parse::<u64>()) {
+                    Some(Ok(n)) if n > 0 => n,
+                    _ => {
+                        eprintln!("--sample-ms requires a positive integer (milliseconds)");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--seed" => {
                 seed = match args.next().map(|s| s.parse::<u64>()) {
                     Some(Ok(n)) => Some(n),
@@ -70,14 +129,16 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: repro [--quick] [--seed N] [--experiment ID] [--ablations] [--json PATH] [--metrics PATH] [--trace PATH] [ID ...]"
+                    "usage: repro [--quick] [--seed N] [--experiment ID] [--ablations] \
+                     [--json PATH] [--metrics PATH] [--trace PATH] [--report PATH] \
+                     [--flame PATH] [--sample-ms N] [ID ...]"
                 );
-                eprintln!("experiments: {}", ALL_EXPERIMENTS.join(" "));
+                eprintln!("experiments: all {}", ALL_EXPERIMENTS.join(" "));
                 eprintln!("ablations:   {}", ABLATIONS.join(" "));
                 eprintln!("scenarios:   {}", SCENARIOS.join(" "));
                 return;
             }
-            other => ids.push(other.to_string()),
+            other => push_id(&mut ids, other),
         }
     }
     if ids.is_empty() {
@@ -89,7 +150,7 @@ fn main() {
             && !SCENARIOS.contains(&id.as_str())
         {
             eprintln!(
-                "unknown experiment '{id}'; known: {} {} {}",
+                "unknown experiment '{id}'; known: all {} {} {}",
                 ALL_EXPERIMENTS.join(" "),
                 ABLATIONS.join(" "),
                 SCENARIOS.join(" ")
@@ -99,10 +160,16 @@ fn main() {
     }
 
     // Tracing must be armed before any work runs so the collector sees
-    // every span and monitor sample from the start.
+    // every span and monitor sample from the start. Likewise the profiler:
+    // arming it here pins this thread as the profiling root, so the
+    // depth-1 `run.*` spans below become the report's stage table.
     if trace_path.is_some() {
         vmp_obs::set_tracing(true);
     }
+    if report_path.is_some() || flame_path.is_some() {
+        vmp_obs::set_profiling(true);
+    }
+    let sampler = report_path.is_some().then(|| vmp_obs::ResourceSampler::start(sample_ms));
 
     let started = std::time::Instant::now();
     // Standalone experiments (ablations, fault-injection scenarios) only
@@ -111,16 +178,22 @@ fn main() {
     let needs_ctx = ids.iter().any(|id| !is_standalone(id));
     let master_seed =
         seed.unwrap_or_else(|| vmp_synth::ecosystem::EcosystemConfig::default().seed);
+    let scale_name = if !needs_ctx {
+        "standalone"
+    } else {
+        match scale {
+            Scale::Full => "full",
+            Scale::Quick => "quick",
+        }
+    };
     let ctx = if needs_ctx {
         eprintln!(
-            "generating ecosystem ({}), running {} experiment(s)...",
-            match scale {
-                Scale::Full => "full",
-                Scale::Quick => "quick",
-            },
+            "generating ecosystem ({scale_name}), running {} experiment(s)...",
             ids.len()
         );
+        let gen_span = vmp_obs::span("run.generate");
         let ctx = ReproContext::with_seed(scale, seed);
+        drop(gen_span);
         eprintln!(
             "ecosystem ready: {} publishers, {} weighted view samples, {} snapshots ({:.1}s)",
             ctx.dataset.profiles.len(),
@@ -136,6 +209,7 @@ fn main() {
 
     let mut results = Vec::new();
     let mut failures = 0usize;
+    let experiments_span = vmp_obs::span("run.experiments");
     for id in &ids {
         let result = match &ctx {
             Some(ctx) => run(id, ctx),
@@ -146,9 +220,34 @@ fn main() {
         failures += result.failures().len();
         results.push(result);
     }
+    drop(experiments_span);
 
+    // Freeze run telemetry before the export phase: stop the sampler (its
+    // final boundary sample lands first) and assemble the report while the
+    // profiler is still armed.
+    let wall_time_secs = started.elapsed().as_secs_f64();
+    let timeline = match sampler {
+        Some(s) => s.stop(),
+        None => vmp_obs::Timeline::empty(),
+    };
+    let report = report_path
+        .is_some()
+        .then(|| RunReport::collect(master_seed, scale_name, &results, wall_time_secs, timeline.clone()));
+    let diagnostics = match &report {
+        Some(r) => r.diagnostics.clone(),
+        None => Diagnostics::collect(&results, timeline.dropped),
+    };
+
+    let export_span = vmp_obs::span("run.export");
     if let Some(path) = json_path {
-        let json = serde_json::to_string_pretty(&results).expect("results serialize");
+        let summary = JsonSummary {
+            schema: RUN_SCHEMA.to_string(),
+            seed: master_seed,
+            scale: scale_name.to_string(),
+            experiments: results.clone(),
+            diagnostics: diagnostics.clone(),
+        };
+        let json = serde_json::to_string_pretty(&summary).expect("results serialize");
         if let Err(e) = std::fs::write(&path, json) {
             eprintln!("cannot write --json output to {path}: {e}");
             std::process::exit(2);
@@ -184,6 +283,44 @@ fn main() {
         );
     }
 
+    if let (Some(path), Some(report)) = (&report_path, &report) {
+        if let Err(e) = std::fs::write(path, report.to_json_pretty()) {
+            eprintln!("cannot write --report output to {path}: {e}");
+            std::process::exit(2);
+        }
+        let md_path = std::path::Path::new(path).with_extension("md");
+        if let Err(e) = std::fs::write(&md_path, report.to_markdown()) {
+            eprintln!("cannot write report markdown to {}: {e}", md_path.display());
+            std::process::exit(2);
+        }
+        eprintln!(
+            "wrote {path} + {} ({} stages, {} profile paths, {} timeline samples)",
+            md_path.display(),
+            report.stages.len(),
+            report.profile.len(),
+            report.timeline.samples.len()
+        );
+    }
+    drop(export_span);
+
+    // The flame file goes last, after the `run.export` span closed, so the
+    // folded profile covers every top-level phase of this run.
+    if let Some(path) = flame_path {
+        let folded = vmp_obs::folded_stacks();
+        if folded.is_empty() {
+            eprintln!("warning: span profile is empty; {path} will have no stacks");
+        }
+        if let Err(e) = std::fs::write(&path, &folded) {
+            eprintln!("cannot write --flame output to {path}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("wrote {path} ({} folded stack lines)", folded.lines().count());
+    }
+
+    for warning in &diagnostics.warnings {
+        eprintln!("warning: {warning}");
+    }
+
     let total_checks: usize = results.iter().map(|r| r.checks.len()).sum();
     eprintln!(
         "\n{} experiments, {}/{} checks passed ({:.1}s total)",
@@ -194,5 +331,15 @@ fn main() {
     );
     if failures > 0 {
         std::process::exit(1);
+    }
+}
+
+/// Pushes an experiment ID, expanding the `all` alias to the full paper
+/// sequence.
+fn push_id(ids: &mut Vec<String>, id: &str) {
+    if id == "all" {
+        ids.extend(ALL_EXPERIMENTS.iter().map(|s| s.to_string()));
+    } else {
+        ids.push(id.to_string());
     }
 }

@@ -16,9 +16,11 @@
 
 pub mod context;
 pub mod figures;
+pub mod report;
 pub mod result;
 
 pub use context::{ReproContext, Scale};
+pub use report::{validate_report, Diagnostics, ExperimentSummary, RunReport, REPORT_SCHEMA};
 pub use result::{Check, ExperimentResult};
 
 /// All paper-artifact experiment IDs in paper order.

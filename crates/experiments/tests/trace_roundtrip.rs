@@ -79,8 +79,9 @@ fn chrome_trace_export_round_trips_as_valid_trace_json() {
     let with_phase = |ph: &'static str| {
         events.iter().filter(move |e| str_field(e, "ph") == Some(ph))
     };
-    // Both trace processes are named via metadata.
-    assert_eq!(with_phase("M").count(), 2);
+    // All three trace processes (wall, fault timeline, resources) are
+    // named via metadata.
+    assert_eq!(with_phase("M").count(), 3);
     // The guarded span produced a wall-clock slice.
     assert!(with_phase("X").any(|e| str_field(e, "name") == Some("trace_roundtrip.feed")));
     // Per-CDN health counters landed on the virtual timeline with args.

@@ -109,6 +109,7 @@ pub struct HealthMonitor {
     metric_views: vmp_obs::Counter,
     metric_alerts: vmp_obs::Counter,
     metric_ticks: vmp_obs::Counter,
+    tick_span: vmp_obs::SpanHandle,
 }
 
 impl std::fmt::Debug for HealthMonitor {
@@ -139,6 +140,7 @@ impl HealthMonitor {
             metric_views: vmp_obs::counter("monitor.views"),
             metric_alerts: vmp_obs::counter("monitor.alerts"),
             metric_ticks: vmp_obs::counter("monitor.ticks"),
+            tick_span: vmp_obs::SpanHandle::new("monitor.tick_eval"),
         }
     }
 
@@ -258,6 +260,7 @@ impl HealthMonitor {
     }
 
     fn evaluate_tick(&mut self, tick: u64) {
+        let _tick_span = self.tick_span.enter();
         self.metric_ticks.inc();
         let cfg = self.config;
         let window_span = (

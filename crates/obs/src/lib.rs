@@ -30,13 +30,22 @@
 mod events;
 mod export;
 mod metrics;
+pub mod profile;
+pub mod sampler;
 mod span;
 pub mod trace;
 
 pub use events::{Event, EventKind, EventSink, RingBufferSink};
 pub use export::{CounterSnapshot, GaugeSnapshot, HistogramSnapshot, RegistrySnapshot};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
-pub use span::{current_path, span, span_in, Span, Stopwatch};
+pub use profile::{
+    folded_stacks, parse_folded, profile_entries, profiling_enabled, reset_profile, set_profiling,
+    stage_entries, ProfileEntry,
+};
+pub use sampler::{
+    rss_bytes, sample_now, HistogramPoint, ResourceSampler, Timeline, TimelineRing, TimelineSample,
+};
+pub use span::{current_path, span, span_in, Span, SpanHandle, Stopwatch};
 pub use trace::{
     chrome_trace_json, set_tracing, trace_counter, trace_dropped, trace_events, trace_instant,
     tracing_enabled, TraceEvent,

@@ -149,6 +149,12 @@ impl Histogram {
         self.record(d.as_nanos().min(u64::MAX as u128) as u64);
     }
 
+    /// Whether the owning registry currently records (used by cached span
+    /// handles to decide if the clock needs reading).
+    pub(crate) fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
     /// Total number of observations.
     pub fn count(&self) -> u64 {
         self.inner.count.load(Ordering::Relaxed)

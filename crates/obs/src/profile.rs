@@ -1,0 +1,289 @@
+//! Span-based self-profiler: folded stacks and stage time tables.
+//!
+//! When profiling is armed ([`set_profiling`]), every [`crate::Span`] drop
+//! additionally folds its elapsed time into a process-wide aggregation
+//! keyed by the span's full nesting path (`outer;inner;leaf`). The
+//! aggregation tracks, per path, the call count, *inclusive* time (the
+//! span's own wall clock) and the time attributed to direct children, so
+//! *exclusive* time (self time) falls out as `inclusive - children`.
+//!
+//! Two renderings:
+//!
+//! - [`folded_stacks`]: inferno/flamegraph-compatible `a;b;c N` lines
+//!   where `N` is exclusive nanoseconds — feed the file to
+//!   `inferno-flamegraph` (or any Brendan-Gregg-style collapser) to get a
+//!   flame graph of the run;
+//! - [`profile_entries`] / [`stage_entries`]: structured tables for the
+//!   run report, the latter restricted to depth-1 spans recorded on the
+//!   thread that armed profiling (the "main" pipeline thread), whose
+//!   inclusive times partition the run's wall clock.
+//!
+//! The profiler is aggregation-only — per-event timelines stay in the
+//! Chrome trace collector ([`crate::trace`]); this module answers "where
+//! did the time go" with bounded memory no matter how long the run is.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+use std::thread::ThreadId;
+
+use parking_lot::Mutex;
+
+use serde::Serialize;
+
+/// Separator used in folded paths (the flamegraph convention).
+const FOLD_SEP: char = ';';
+
+#[derive(Default)]
+struct PathStat {
+    count: u64,
+    inclusive_ns: u64,
+    child_ns: u64,
+    /// Inclusive time accumulated while this path was a depth-1 span on
+    /// the profiling root thread (the stage-table signal).
+    root_ns: u64,
+    root_count: u64,
+}
+
+struct ProfileCollector {
+    paths: Mutex<BTreeMap<String, PathStat>>,
+    /// Thread that armed profiling; its depth-1 spans form the stage table.
+    root_thread: Mutex<Option<ThreadId>>,
+}
+
+static PROFILING: AtomicBool = AtomicBool::new(false);
+static COLLECTOR: OnceLock<ProfileCollector> = OnceLock::new();
+
+fn collector() -> &'static ProfileCollector {
+    COLLECTOR.get_or_init(|| ProfileCollector {
+        paths: Mutex::new(BTreeMap::new()),
+        root_thread: Mutex::new(None),
+    })
+}
+
+/// Arms or disarms the span profiler. Arming pins the calling thread as
+/// the *root thread*: its depth-1 spans become the per-stage table rows
+/// ([`stage_entries`]) whose inclusive times partition the run wall clock.
+/// Existing aggregates are kept across disarm/re-arm; call
+/// [`reset_profile`] for a clean slate.
+pub fn set_profiling(enabled: bool) {
+    if enabled {
+        *collector().root_thread.lock() = Some(std::thread::current().id());
+    }
+    PROFILING.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether span drops currently fold into the profile.
+#[inline]
+pub fn profiling_enabled() -> bool {
+    PROFILING.load(Ordering::Relaxed)
+}
+
+/// Discards all aggregated paths (test isolation / run boundaries).
+pub fn reset_profile() {
+    collector().paths.lock().clear();
+}
+
+/// Folds one finished span into the aggregation. `stack` is the full open
+/// path, outermost first, with the finished span last.
+pub(crate) fn record(stack: &[&'static str], elapsed_ns: u64) {
+    let Some((_leaf, parents)) = stack.split_last() else {
+        return;
+    };
+    let key = stack.join(";");
+    let is_root = parents.is_empty();
+    let on_root_thread = is_root
+        && *collector().root_thread.lock() == Some(std::thread::current().id());
+    let mut paths = collector().paths.lock();
+    let stat = paths.entry(key).or_default();
+    stat.count += 1;
+    stat.inclusive_ns += elapsed_ns;
+    if on_root_thread {
+        stat.root_ns += elapsed_ns;
+        stat.root_count += 1;
+    }
+    if !parents.is_empty() {
+        let parent_key = parents.join(";");
+        paths.entry(parent_key).or_default().child_ns += elapsed_ns;
+    }
+}
+
+/// One aggregated span path.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ProfileEntry {
+    /// `;`-joined nesting path, outermost first.
+    pub path: String,
+    /// Times a span completed at this exact path.
+    pub count: u64,
+    /// Total wall time of spans at this path (includes children).
+    pub inclusive_ns: u64,
+    /// Inclusive time minus time spent in direct child spans.
+    pub exclusive_ns: u64,
+}
+
+/// Every aggregated path, sorted by path.
+pub fn profile_entries() -> Vec<ProfileEntry> {
+    collector()
+        .paths
+        .lock()
+        .iter()
+        .map(|(path, stat)| ProfileEntry {
+            path: path.clone(),
+            count: stat.count,
+            inclusive_ns: stat.inclusive_ns,
+            exclusive_ns: stat.inclusive_ns.saturating_sub(stat.child_ns),
+        })
+        .collect()
+}
+
+/// The run's top-level stages: depth-1 spans recorded on the thread that
+/// armed profiling, sorted by inclusive time descending. Worker-thread
+/// root spans (e.g. snapshot-parallel rollups) are excluded, so the
+/// inclusive times here partition — and sum to approximately — the root
+/// thread's wall clock.
+pub fn stage_entries() -> Vec<ProfileEntry> {
+    let mut stages: Vec<ProfileEntry> = collector()
+        .paths
+        .lock()
+        .iter()
+        .filter(|(path, stat)| !path.contains(FOLD_SEP) && stat.root_count > 0)
+        .map(|(path, stat)| ProfileEntry {
+            path: path.clone(),
+            count: stat.root_count,
+            inclusive_ns: stat.root_ns,
+            // Stage rows report root-thread inclusive time; exclusive time
+            // is only meaningful on the full profile (a root span's
+            // children may run on other threads).
+            exclusive_ns: stat.root_ns.saturating_sub(stat.child_ns.min(stat.root_ns)),
+        })
+        .collect();
+    stages.sort_by(|a, b| b.inclusive_ns.cmp(&a.inclusive_ns).then(a.path.cmp(&b.path)));
+    stages
+}
+
+/// Renders the profile as folded-stack lines — `outer;inner;leaf N`, one
+/// line per path with nonzero exclusive nanoseconds, sorted by path —
+/// the input format of `inferno-flamegraph` and FlameGraph's
+/// `flamegraph.pl`.
+pub fn folded_stacks() -> String {
+    let mut out = String::new();
+    for entry in profile_entries() {
+        if entry.exclusive_ns > 0 {
+            out.push_str(&entry.path);
+            out.push(' ');
+            out.push_str(&entry.exclusive_ns.to_string());
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Parses folded-stack text back into `(path, value)` pairs. Accepts
+/// exactly the [`folded_stacks`] dialect: one `path N` pair per line,
+/// space-separated, `N` a non-negative integer. Used by the round-trip
+/// tests and by `vmp-bench` when diffing committed profiles.
+pub fn parse_folded(text: &str) -> Result<Vec<(String, u64)>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let Some((path, value)) = line.rsplit_once(' ') else {
+            return Err(format!("line {}: expected `path N`, got `{line}`", lineno + 1));
+        };
+        let value: u64 = value
+            .parse()
+            .map_err(|e| format!("line {}: bad sample value `{value}`: {e}", lineno + 1))?;
+        if path.is_empty() {
+            return Err(format!("line {}: empty path", lineno + 1));
+        }
+        out.push((path.to_string(), value));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+pub(crate) fn test_guard() -> parking_lot::MutexGuard<'static, ()> {
+    static TEST_LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    TEST_LOCK.get_or_init(|| Mutex::new(())).lock()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_inclusive_exclusive_and_counts() {
+        let _guard = test_guard();
+        reset_profile();
+        set_profiling(true);
+        record(&["gen"], 100);
+        record(&["gen", "sample"], 60);
+        record(&["gen", "sample"], 20);
+        record(&["gen"], 0); // second call, zero elapsed
+        set_profiling(false);
+
+        let entries = profile_entries();
+        let gen = entries.iter().find(|e| e.path == "gen").expect("gen path");
+        assert_eq!(gen.count, 2);
+        assert_eq!(gen.inclusive_ns, 100);
+        assert_eq!(gen.exclusive_ns, 100 - 80);
+        let sample = entries.iter().find(|e| e.path == "gen;sample").expect("child path");
+        assert_eq!(sample.count, 2);
+        assert_eq!(sample.inclusive_ns, 80);
+        assert_eq!(sample.exclusive_ns, 80);
+        reset_profile();
+    }
+
+    #[test]
+    fn stage_entries_only_see_root_thread_roots() {
+        let _guard = test_guard();
+        reset_profile();
+        set_profiling(true);
+        record(&["main_stage"], 500);
+        std::thread::scope(|s| {
+            s.spawn(|| record(&["worker_root"], 900)).join().expect("worker thread");
+        });
+        set_profiling(false);
+
+        let stages = stage_entries();
+        assert!(stages.iter().any(|e| e.path == "main_stage"));
+        assert!(
+            !stages.iter().any(|e| e.path == "worker_root"),
+            "worker-thread roots must not count as run stages"
+        );
+        // ...but the full profile still sees the worker's time.
+        assert!(profile_entries().iter().any(|e| e.path == "worker_root"));
+        reset_profile();
+    }
+
+    #[test]
+    fn folded_round_trips_through_parse() {
+        let _guard = test_guard();
+        reset_profile();
+        set_profiling(true);
+        record(&["a"], 1000);
+        record(&["a", "b"], 400);
+        record(&["a", "b", "c"], 150);
+        record(&["z"], 7);
+        set_profiling(false);
+
+        let folded = folded_stacks();
+        let parsed = parse_folded(&folded).expect("round-trip parse");
+        let rerendered: String =
+            parsed.iter().map(|(p, v)| format!("{p} {v}\n")).collect();
+        assert_eq!(folded, rerendered, "parse→render must be the identity");
+        let total: u64 = parsed.iter().map(|(_, v)| v).sum();
+        assert_eq!(total, 1000 + 7, "exclusive times must sum to root inclusive total");
+        reset_profile();
+    }
+
+    #[test]
+    fn parse_folded_rejects_malformed_lines() {
+        assert!(parse_folded("no_value").is_err());
+        assert!(parse_folded("path notanumber").is_err());
+        assert!(parse_folded(" 42").is_err());
+        assert_eq!(parse_folded("  \n\n").expect("blank lines ok"), Vec::new());
+    }
+}

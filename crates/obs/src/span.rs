@@ -72,14 +72,46 @@ pub fn span(name: &'static str) -> Span {
 /// which case the clock is read so the slice can land on the trace
 /// timeline.
 pub fn span_in(registry: &crate::MetricsRegistry, name: &'static str) -> Span {
-    let histogram = registry.histogram(name);
-    let start = (registry.is_enabled() || crate::trace::tracing_enabled()).then(Instant::now);
+    open_span(registry.histogram(name), registry.is_enabled(), name)
+}
+
+fn open_span(histogram: Histogram, recording: bool, name: &'static str) -> Span {
+    let start = (recording
+        || crate::trace::tracing_enabled()
+        || crate::profile::profiling_enabled())
+    .then(Instant::now);
     let depth = SPAN_STACK.with(|stack| {
         let mut stack = stack.borrow_mut();
         stack.push(name);
         stack.len()
     });
     Span { name, start, histogram, depth }
+}
+
+/// A pre-resolved span opener for hot paths: holds the histogram handle so
+/// [`SpanHandle::enter`] skips the registry name lookup entirely (the same
+/// cached-handle discipline the counter hot paths use).
+#[derive(Debug, Clone)]
+pub struct SpanHandle {
+    name: &'static str,
+    histogram: Histogram,
+}
+
+impl SpanHandle {
+    /// Resolves the handle once against the global registry.
+    pub fn new(name: &'static str) -> SpanHandle {
+        SpanHandle { name, histogram: crate::global().histogram(name) }
+    }
+
+    /// Resolves the handle once against `registry`.
+    pub fn new_in(registry: &crate::MetricsRegistry, name: &'static str) -> SpanHandle {
+        SpanHandle { name, histogram: registry.histogram(name) }
+    }
+
+    /// Opens a span without touching the registry lock.
+    pub fn enter(&self) -> Span {
+        open_span(self.histogram.clone(), self.histogram.is_enabled(), self.name)
+    }
 }
 
 /// The full path of open spans on this thread, joined with '/'.
@@ -106,14 +138,29 @@ impl Span {
 
 impl Drop for Span {
     fn drop(&mut self) {
+        let elapsed = self.start.map(|s| s.elapsed());
+        if let Some(elapsed) = elapsed {
+            if crate::profile::profiling_enabled() {
+                // Fold into the profiler before the stack is truncated so
+                // the full nesting path is still available.
+                SPAN_STACK.with(|stack| {
+                    let stack = stack.borrow();
+                    let top = self.depth.min(stack.len());
+                    let elapsed_ns = elapsed.as_nanos().min(u64::MAX as u128) as u64;
+                    crate::profile::record(
+                        stack.get(..top).unwrap_or_default(),
+                        elapsed_ns,
+                    );
+                });
+            }
+        }
         SPAN_STACK.with(|stack| {
             let mut stack = stack.borrow_mut();
             // Spans are expected to drop in LIFO order, but be tolerant of
             // early drops: truncate back to this span's parent.
             stack.truncate(self.depth.saturating_sub(1));
         });
-        if let Some(start) = self.start {
-            let elapsed = start.elapsed();
+        if let Some(elapsed) = elapsed {
             self.histogram.record_duration(elapsed);
             if crate::trace::tracing_enabled() {
                 let dur_us = elapsed.as_micros().min(u64::MAX as u128) as u64;
@@ -155,6 +202,39 @@ mod tests {
         assert_eq!(current_path(), "outer");
         drop(outer);
         assert_eq!(current_path(), "");
+    }
+
+    #[test]
+    fn profiled_spans_fold_nested_paths() {
+        let _guard = crate::profile::test_guard();
+        crate::profile::reset_profile();
+        crate::profile::set_profiling(true);
+        let reg = MetricsRegistry::new();
+        {
+            let _outer = span_in(&reg, "prof_outer");
+            let _inner = span_in(&reg, "prof_inner");
+        }
+        crate::profile::set_profiling(false);
+        let entries = crate::profile::profile_entries();
+        assert!(
+            entries.iter().any(|e| e.path == "prof_outer;prof_inner" && e.count == 1),
+            "nested span must fold under its parent: {entries:?}"
+        );
+        assert!(entries.iter().any(|e| e.path == "prof_outer"));
+        crate::profile::reset_profile();
+    }
+
+    #[test]
+    fn cached_span_handle_records_like_a_span() {
+        let reg = MetricsRegistry::new();
+        let handle = SpanHandle::new_in(&reg, "cached.stage");
+        {
+            let _s = handle.enter();
+        }
+        {
+            let _s = handle.enter();
+        }
+        assert_eq!(reg.histogram("cached.stage").count(), 2);
     }
 
     #[test]

@@ -26,6 +26,9 @@ pub const PID_WALL: u64 = 1;
 /// Trace process id for virtual-timeline (fault clock) samples.
 pub const PID_VIRTUAL: u64 = 2;
 
+/// Trace process id for resource-sampler counters (RSS, metric deltas).
+pub const PID_RESOURCE: u64 = 3;
+
 /// Hard cap on retained trace events; past it, new events are counted as
 /// dropped rather than growing without bound.
 const TRACE_CAPACITY: usize = 200_000;
@@ -182,6 +185,33 @@ pub fn trace_instant(name: &str, ts_us: u64, detail: &str) {
     });
 }
 
+/// Appends a counter sample on the resource timeline ([`PID_RESOURCE`];
+/// wall-clock microseconds since the collector epoch). Used by the
+/// resource sampler so RSS and metric-rate curves render beside the span
+/// timeline. No-op unless tracing is on.
+pub fn trace_resource(name: &str, ts_us: u64, values: &[(&str, f64)]) {
+    if !tracing_enabled() {
+        return;
+    }
+    push(TraceEvent {
+        name: name.to_string(),
+        ph: 'C',
+        ts: ts_us,
+        dur: None,
+        pid: PID_RESOURCE,
+        tid: 0,
+        args: values.iter().map(|(k, v)| (k.to_string(), Value::F64(*v))).collect(),
+        global_instant: false,
+    });
+}
+
+/// Microseconds since the collector epoch on the shared wall timeline
+/// (public face of the internal epoch clock, used by the resource sampler
+/// to timestamp samples consistently with span slices).
+pub fn epoch_elapsed_us() -> u64 {
+    now_us()
+}
+
 /// Copy of every retained trace event, in record order (metadata excluded).
 pub fn trace_events() -> Vec<TraceEvent> {
     collector().events.lock().clone()
@@ -205,6 +235,7 @@ pub fn chrome_trace_json() -> String {
     for (pid, label) in [
         (PID_WALL, "wall clock (span timers)"),
         (PID_VIRTUAL, "fault timeline (monitor windows)"),
+        (PID_RESOURCE, "resources (sampler: rss, metric rates)"),
     ] {
         rendered.push(Value::Object(vec![
             ("name".into(), Value::Str("process_name".into())),

@@ -1,0 +1,89 @@
+//! Property coverage for the run-telemetry plane: the resource-sampler
+//! ring stays bounded and evicts oldest-first under any push sequence, and
+//! folded-stack text round-trips through the parser for any profile shape.
+
+use proptest::prelude::*;
+use vmp_obs::{parse_folded, MetricsRegistry, TimelineRing, TimelineSample};
+
+fn sample_at(t_us: u64) -> TimelineSample {
+    TimelineSample {
+        t_us,
+        rss_bytes: 4096 * t_us,
+        counters: std::collections::BTreeMap::new(),
+        gauges: std::collections::BTreeMap::new(),
+        histograms: std::collections::BTreeMap::new(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// However many samples land, the ring holds at most `capacity`, the
+    /// drop counter accounts for the difference exactly, and what remains
+    /// is the newest suffix in push order.
+    #[test]
+    fn timeline_ring_is_bounded_and_keeps_newest(
+        capacity in 1usize..48,
+        pushes in 0u64..160,
+    ) {
+        let mut ring = TimelineRing::new(capacity);
+        for t in 0..pushes {
+            ring.push(sample_at(t));
+        }
+        let kept = ring.len() as u64;
+        prop_assert!(ring.len() <= capacity);
+        prop_assert_eq!(kept, pushes.min(capacity as u64));
+        prop_assert_eq!(ring.dropped(), pushes - kept);
+        let expected_first = pushes - kept;
+        for (i, s) in ring.samples().enumerate() {
+            prop_assert_eq!(s.t_us, expected_first + i as u64);
+        }
+    }
+
+    /// Any folded-stack document the profiler could emit parses back to
+    /// the same (path, value) sequence.
+    #[test]
+    fn folded_stack_text_round_trips(
+        lines in proptest::collection::vec(
+            ("[a-z][a-z0-9_.]{0,12}(;[a-z][a-z0-9_.]{0,12}){0,4}", 1u64..=u64::MAX / 2),
+            0..24,
+        ),
+    ) {
+        let text: String =
+            lines.iter().map(|(path, v)| format!("{path} {v}\n")).collect();
+        let parsed = parse_folded(&text);
+        prop_assert!(parsed.is_ok(), "parse failed: {:?}", parsed);
+        prop_assert_eq!(parsed.unwrap_or_default(), lines);
+    }
+}
+
+#[test]
+fn ring_with_zero_capacity_clamps_to_one() {
+    let mut ring = TimelineRing::new(0);
+    ring.push(sample_at(1));
+    ring.push(sample_at(2));
+    assert_eq!(ring.len(), 1);
+    assert_eq!(ring.dropped(), 1);
+    assert_eq!(ring.samples().next().map(|s| s.t_us), Some(2));
+}
+
+#[test]
+fn live_profile_folds_parse_back() {
+    // End-to-end: profile real spans, render, re-parse. (Serialized with
+    // other profiling tests via the global profiler state: reset first.)
+    vmp_obs::reset_profile();
+    vmp_obs::set_profiling(true);
+    let reg = MetricsRegistry::new();
+    for _ in 0..3 {
+        let _outer = vmp_obs::span_in(&reg, "tp_outer");
+        let _inner = vmp_obs::span_in(&reg, "tp_inner");
+    }
+    vmp_obs::set_profiling(false);
+    let folded = vmp_obs::folded_stacks();
+    let parsed = parse_folded(&folded).expect("own folded output must parse");
+    assert!(
+        parsed.iter().any(|(path, v)| path == "tp_outer;tp_inner" && *v > 0),
+        "nested path missing from folded output: {folded:?}"
+    );
+    vmp_obs::reset_profile();
+}

@@ -266,6 +266,7 @@ pub struct SessionOutcome {
 /// Cached handles into the global metrics registry, resolved once per
 /// player so the per-chunk hot loop never takes the registry lock.
 struct SessionMetrics {
+    play_span: vmp_obs::SpanHandle,
     sessions: vmp_obs::Counter,
     chunks_fetched: vmp_obs::Counter,
     chunk_download_us: vmp_obs::Histogram,
@@ -282,6 +283,7 @@ struct SessionMetrics {
 impl SessionMetrics {
     fn new() -> SessionMetrics {
         SessionMetrics {
+            play_span: vmp_obs::SpanHandle::new("session.play"),
             sessions: vmp_obs::counter("session.sessions"),
             chunks_fetched: vmp_obs::counter("session.chunks_fetched"),
             chunk_download_us: vmp_obs::histogram("session.chunk_download_us"),
@@ -391,6 +393,7 @@ impl<'a> Player<'a> {
         serve: &mut dyn FnMut(&ChunkRequest, &mut Rng) -> Result<ChunkServe, FetchError>,
         rng: &mut Rng,
     ) -> SessionOutcome {
+        let _play_span = self.metrics.play_span.enter();
         let cfg = &self.config;
         let target = Seconds(cfg.intended_watch.0.min(cfg.content_duration.0));
         let mut predictor = HarmonicMeanPredictor::new(5);
