@@ -230,6 +230,16 @@ impl Broker {
         }
     }
 
+    /// Timestamped success path: identical to
+    /// [`Broker::record_fetch_success`] except the outcome also feeds the
+    /// breaker's rolling failure-rate window (meaningful when the breaker
+    /// config arms a `FailureRateTrip`).
+    pub fn record_fetch_success_at(&self, cdn: CdnName, now: Seconds) {
+        if let Some(b) = self.breakers.lock().get_mut(&cdn) {
+            b.record_success_at(now);
+        }
+    }
+
     /// Whether `cdn` is currently quarantined (breaker open) at `now`.
     /// Advances `Open → HalfOpen` transitions as a side effect, so a query
     /// after the cooldown admits probe traffic.
@@ -385,7 +395,11 @@ mod tests {
     fn breaker_half_opens_after_cooldown_and_closes_on_success() {
         let broker = Broker::with_breaker(
             BrokerPolicy::Weighted,
-            vmp_faults::BreakerConfig { failure_threshold: 2, cooldown: Seconds(30.0) },
+            vmp_faults::BreakerConfig {
+                failure_threshold: 2,
+                cooldown: Seconds(30.0),
+                ..vmp_faults::BreakerConfig::default()
+            },
         );
         broker.record_fetch_failure(CdnName::C, Seconds(0.0));
         broker.record_fetch_failure(CdnName::C, Seconds(1.0));

@@ -40,6 +40,13 @@ pub enum FetchError {
         /// The CDN that failed to serve the manifest.
         cdn: CdnName,
     },
+    /// Admission control shed the request: the edge was over its capacity
+    /// for the accounting bucket and this request lost the priority
+    /// contest (new joins are shed before in-progress sessions).
+    Shed {
+        /// The CDN whose edge shed the request.
+        cdn: CdnName,
+    },
 }
 
 impl FetchError {
@@ -51,6 +58,7 @@ impl FetchError {
             FetchError::OriginUnavailable { .. } => "origin_unavailable",
             FetchError::Timeout { .. } => "timeout",
             FetchError::ManifestUnavailable { .. } => "manifest_unavailable",
+            FetchError::Shed { .. } => "shed",
         }
     }
 
@@ -61,7 +69,8 @@ impl FetchError {
             FetchError::Outage { cdn }
             | FetchError::OriginUnavailable { cdn }
             | FetchError::Timeout { cdn }
-            | FetchError::ManifestUnavailable { cdn } => Some(*cdn),
+            | FetchError::ManifestUnavailable { cdn }
+            | FetchError::Shed { cdn } => Some(*cdn),
         }
     }
 }
@@ -79,6 +88,9 @@ impl fmt::Display for FetchError {
             FetchError::Timeout { cdn } => write!(f, "chunk fetch from {cdn:?} timed out"),
             FetchError::ManifestUnavailable { cdn } => {
                 write!(f, "manifest fetch from {cdn:?} failed")
+            }
+            FetchError::Shed { cdn } => {
+                write!(f, "{cdn:?} edge shed the request under overload")
             }
         }
     }

@@ -22,20 +22,34 @@
 //!   isolation.
 //! * [`error`] — typed delivery failures ([`FetchError`]) surfaced during
 //!   injected faults instead of the old always-succeeds behaviour.
+//! * [`capacity`] — per-edge admission control: finite request capacity per
+//!   accounting bucket with a priority floor so in-progress sessions outrank
+//!   new joins when a flash crowd saturates an edge.
+//! * [`shield`] — origin shield with request coalescing: N simultaneous
+//!   misses for one chunk collapse into one origin fetch returning
+//!   byte-identical payloads.
+//! * [`budget`] — shared per-CDN retry budget layered over per-session
+//!   backoff so correlated retry storms cannot amplify an outage.
 
 #![forbid(unsafe_code)]
 #![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 pub mod broker;
+pub mod budget;
+pub mod capacity;
 pub mod edge;
 pub mod error;
 pub mod origin;
 pub mod routing;
+pub mod shield;
 pub mod strategy;
 
 pub use broker::{Broker, BrokerPolicy};
+pub use budget::{BudgetConfig, RetryBudget};
+pub use capacity::{CapacityConfig, EdgeCapacity};
 pub use edge::{CacheOutcome, EdgeCache, EdgeCluster};
 pub use error::FetchError;
 pub use origin::{ContentKey, OriginEntry, OriginStore};
+pub use shield::{OriginShield, ShieldOutcome};
 pub use strategy::CdnStrategy;

@@ -34,7 +34,7 @@ proptest! {
         let strategy = three_way_strategy();
         let broker = Broker::with_breaker(
             BrokerPolicy::Weighted,
-            BreakerConfig { failure_threshold: threshold, cooldown: Seconds(cooldown) },
+            BreakerConfig { failure_threshold: threshold, cooldown: Seconds(cooldown), ..BreakerConfig::default() },
         );
         for _ in 0..threshold {
             broker.record_fetch_failure(CdnName::A, Seconds::ZERO);

@@ -1,0 +1,132 @@
+//! Property tests for the surge-protection layer.
+//!
+//! Two invariants the `live_event` scenario leans on, checked for
+//! arbitrary storms rather than one seed:
+//!
+//! 1. **The retry budget bounds total grants analytically.** However many
+//!    sessions retry, however their timestamps interleave (including
+//!    out-of-order and duplicate instants), the grants a CDN hands out
+//!    never exceed `capacity + refill_per_sec × horizon` — the
+//!    [`RetryBudget::max_grants`] bound.
+//! 2. **Coalescing is invisible in the bytes.** A follower coalesced onto
+//!    an in-flight origin fetch observes a payload byte-identical to what
+//!    it would have fetched alone; coalescing changes who talks to the
+//!    origin, never what is served.
+
+use proptest::prelude::*;
+use vmp_cdn::budget::{BudgetConfig, RetryBudget};
+use vmp_cdn::shield::{OriginShield, ShieldOutcome};
+use vmp_core::cdn::CdnName;
+use vmp_core::units::Seconds;
+use vmp_stats::Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A synthetic retry storm: `sessions` concurrent sessions each demand
+    /// `per_session` retries at RNG-scattered (unsorted) instants across
+    /// the horizon. Total grants must respect the analytic bound no matter
+    /// how much demand exceeds it.
+    #[test]
+    fn retry_grants_bounded_by_budget_regardless_of_session_count(
+        seed in 0u64..100_000,
+        sessions in 1usize..400,
+        per_session in 1usize..12,
+        capacity in 1.0f64..200.0,
+        refill in 0.0f64..5.0,
+        horizon in 1.0f64..2000.0,
+    ) {
+        let budget = RetryBudget::new(BudgetConfig { capacity, refill_per_sec: refill });
+        let mut rng = Rng::seed_from(seed);
+        let mut granted = 0u64;
+        let mut demanded = 0u64;
+        for _ in 0..sessions {
+            for _ in 0..per_session {
+                let at = Seconds(rng.f64() * horizon);
+                demanded += 1;
+                if budget.try_spend(CdnName::A, at) {
+                    granted += 1;
+                }
+            }
+        }
+        let bound = budget.max_grants(Seconds(horizon));
+        prop_assert!(
+            granted <= bound,
+            "granted {granted} of {demanded} demanded exceeds bound {bound} \
+             (capacity {capacity}, refill {refill}/s, horizon {horizon}s)"
+        );
+        prop_assert_eq!(granted, budget.granted());
+        prop_assert_eq!(demanded - granted, budget.denied());
+    }
+
+    /// Denied retries stay denied: the budget's accounting is conserved
+    /// across CDNs (per-CDN buckets never lend tokens to each other).
+    #[test]
+    fn budget_buckets_are_per_cdn(
+        seed in 0u64..100_000,
+        demands in 1usize..200,
+        capacity in 1.0f64..50.0,
+    ) {
+        let budget = RetryBudget::new(BudgetConfig { capacity, refill_per_sec: 0.0 });
+        let mut rng = Rng::seed_from(seed);
+        let cdns = [CdnName::A, CdnName::B, CdnName::C];
+        let mut per_cdn = [0u64; 3];
+        for _ in 0..demands {
+            let which = (rng.f64() * 3.0) as usize % 3;
+            if budget.try_spend(cdns[which], Seconds::ZERO) {
+                per_cdn[which] += 1;
+            }
+        }
+        let each = capacity.ceil() as u64;
+        for (i, g) in per_cdn.iter().enumerate() {
+            prop_assert!(
+                *g <= each,
+                "{:?} granted {g} from a capacity-{each} bucket with no refill",
+                cdns[i]
+            );
+        }
+    }
+
+    /// N simultaneous misses for one chunk coalesce onto one origin fetch,
+    /// and every follower sees exactly the leader's payload — which is the
+    /// payload an uncoalesced solo fetch of the same key returns.
+    #[test]
+    fn coalesced_payloads_are_byte_identical_to_uncoalesced(
+        key in 0u64..1_000_000_000_000,
+        followers in 1u64..200,
+        window in 0.1f64..30.0,
+        at in 0.0f64..10_000.0,
+    ) {
+        let mut shield = OriginShield::new(Seconds(window));
+        let now = Seconds(at);
+        prop_assert_eq!(shield.request(key, now), ShieldOutcome::Leader);
+        let leader_payload = OriginShield::payload(key);
+        for _ in 0..followers {
+            prop_assert_eq!(shield.request(key, now), ShieldOutcome::Coalesced);
+            prop_assert_eq!(OriginShield::payload(key), leader_payload);
+        }
+        prop_assert_eq!(shield.origin_fetches(), 1);
+        prop_assert_eq!(shield.coalesced(), followers);
+
+        // An independent shield that never coalesced serves the same bytes.
+        let mut solo = OriginShield::new(Seconds(window));
+        prop_assert_eq!(solo.request(key, now), ShieldOutcome::Leader);
+        prop_assert_eq!(OriginShield::payload(key), leader_payload);
+    }
+
+    /// Requests outside the in-flight window are fresh leaders, not stale
+    /// coalesces: the shield never serves a payload from a fetch that has
+    /// already landed.
+    #[test]
+    fn coalescing_never_crosses_the_inflight_window(
+        key in 0u64..1_000_000_000_000,
+        window in 0.1f64..10.0,
+        gap_factor in 1.1f64..20.0,
+    ) {
+        let mut shield = OriginShield::new(Seconds(window));
+        prop_assert_eq!(shield.request(key, Seconds::ZERO), ShieldOutcome::Leader);
+        let later = Seconds(window * gap_factor);
+        prop_assert_eq!(shield.request(key, later), ShieldOutcome::Leader);
+        prop_assert_eq!(shield.origin_fetches(), 2);
+    }
+}

@@ -2,6 +2,7 @@
 
 pub mod ablations;
 pub mod helpers;
+pub mod live_event;
 pub mod monitor;
 pub mod resilience;
 

@@ -126,6 +126,7 @@ fn run_population(seed: u64, profile: Option<&FaultProfile>, sink: &mut dyn Comp
             failover_enabled: false, // damage must stay attributed to the faulted CDN
             health_gate: false,
             faults: injector.as_ref(),
+            retry_budget: None,
             infrastructure: &mut infra,
         };
         let out = player.play_multi_cdn(&mut ctx, &mut rng);

@@ -163,6 +163,7 @@ fn run_arm(
             failover_enabled,
             health_gate,
             faults: injector.as_ref(),
+            retry_budget: None,
             infrastructure: &mut infra,
         };
         let out = player.play_multi_cdn(&mut ctx, &mut rng);

@@ -36,7 +36,7 @@ pub const ABLATIONS: [&str; 4] = ["abl-abr", "abl-dedup", "abl-broker", "abl-liv
 /// Scenario experiments: dedicated simulations (fault injection,
 /// resilience, health monitoring) that need only a seed, not the generated
 /// ecosystem.
-pub const SCENARIOS: [&str; 2] = ["resilience", "monitor"];
+pub const SCENARIOS: [&str; 3] = ["resilience", "monitor", "live_event"];
 
 /// Whether an experiment can run without the generated ecosystem (`repro`
 /// skips the expensive dataset build when every requested ID is
@@ -105,6 +105,7 @@ fn dispatch_standalone(id: &str, seed: u64) -> Option<ExperimentResult> {
         "abl-live" => Some(figures::ablations::run_live_latency()),
         "resilience" => Some(figures::resilience::run(seed)),
         "monitor" => Some(figures::monitor::run(seed)),
+        "live_event" => Some(figures::live_event::run(seed)),
         _ => None,
     }
 }

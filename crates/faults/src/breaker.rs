@@ -2,15 +2,46 @@
 //!
 //! §2's brokers provide "monitoring and fault isolation" even for
 //! single-CDN publishers; the isolation half is this state machine. After
-//! `failure_threshold` *consecutive* fetch failures the breaker opens and
-//! the CDN is quarantined: selection and failover skip it. After `cooldown`
-//! virtual seconds it half-opens and admits probe traffic; one success
-//! closes it, one failure re-opens it for another cooldown.
+//! `failure_threshold` *consecutive* fetch failures — or, when a
+//! [`FailureRateTrip`] is configured, when the rolling failure *rate*
+//! crosses its threshold — the breaker opens and the CDN is quarantined:
+//! selection and failover skip it. After `cooldown` virtual seconds it
+//! half-opens and admits a *bounded* number of probes
+//! (`half_open_max_probes`); one success closes it, one failure re-opens it
+//! for another cooldown.
+//!
+//! The probe cap matters under surge: before it existed, `allows` admitted
+//! *all* traffic in `HalfOpen`, so a flash crowd would slam a recovering
+//! CDN with thousands of simultaneous "probes" and knock it straight back
+//! over. The rate trip matters for the same reason in the other direction:
+//! under a 100× join storm, a degraded CDN can keep interleaving enough
+//! successes that no failure streak ever reaches `failure_threshold`, while
+//! its overall failure rate is catastrophic.
 //!
 //! Time is a caller-supplied virtual clock ([`Seconds`]), never wall time,
 //! so breaker behaviour replays exactly under the same seed.
 
 use vmp_core::units::Seconds;
+
+/// Failure-*rate* tripping: open when the failure fraction over a rolling
+/// window crosses `threshold`, regardless of interleaved successes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailureRateTrip {
+    /// Failure fraction in `[0, 1]` that trips the breaker.
+    pub threshold: f64,
+    /// Minimum outcomes observed in the window before the rate is trusted
+    /// (guards against tripping on one unlucky request).
+    pub min_samples: u32,
+    /// Rolling window width (virtual seconds). Internally tracked as two
+    /// half-width buckets, so the effective horizon is `window`..`2×window`.
+    pub window: Seconds,
+}
+
+impl Default for FailureRateTrip {
+    fn default() -> FailureRateTrip {
+        FailureRateTrip { threshold: 0.5, min_samples: 20, window: Seconds(60.0) }
+    }
+}
 
 /// Breaker tuning.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -19,11 +50,32 @@ pub struct BreakerConfig {
     pub failure_threshold: u32,
     /// Quarantine length after a trip (virtual seconds).
     pub cooldown: Seconds,
+    /// Maximum probe requests admitted per `HalfOpen` episode. Further
+    /// [`CircuitBreaker::allows`] calls report the CDN as unavailable until
+    /// a probe outcome arrives (success closes, failure re-opens).
+    pub half_open_max_probes: u32,
+    /// Optional failure-rate trip layered over the consecutive-failure
+    /// counter. `None` (the default) keeps the original streak-only
+    /// behaviour and records nothing extra.
+    pub failure_rate: Option<FailureRateTrip>,
 }
 
 impl Default for BreakerConfig {
     fn default() -> BreakerConfig {
-        BreakerConfig { failure_threshold: 3, cooldown: Seconds(120.0) }
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Seconds(120.0),
+            half_open_max_probes: 3,
+            failure_rate: None,
+        }
+    }
+}
+
+impl BreakerConfig {
+    /// A surge-hardened config: rate tripping armed with the given
+    /// parameters on top of the default streak behaviour.
+    pub fn with_rate_trip(rate: FailureRateTrip) -> BreakerConfig {
+        BreakerConfig { failure_rate: Some(rate), ..BreakerConfig::default() }
     }
 }
 
@@ -34,8 +86,15 @@ pub enum BreakerState {
     Closed,
     /// Quarantined; no traffic until the cooldown elapses.
     Open,
-    /// Cooldown elapsed; probe traffic admitted.
+    /// Cooldown elapsed; a bounded number of probes admitted.
     HalfOpen,
+}
+
+/// Outcome counts for one rolling-rate bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+struct RateBucket {
+    failures: u32,
+    total: u32,
 }
 
 /// Per-CDN circuit breaker.
@@ -46,6 +105,19 @@ pub struct CircuitBreaker {
     consecutive_failures: u32,
     open_until: Seconds,
     trips: u64,
+    /// Probes admitted in the current `HalfOpen` episode.
+    probes_admitted: u32,
+    /// When the current `HalfOpen` probe episode began. After a further
+    /// full cooldown with no probe verdict, a fresh (still bounded) probe
+    /// batch is armed so an unlucky breaker cannot stay quarantined
+    /// forever.
+    half_open_since: Seconds,
+    /// Rolling-rate bookkeeping (only touched when `failure_rate` is set):
+    /// the start of the current half-window bucket, plus the current and
+    /// previous bucket counts.
+    rate_bucket_start: Seconds,
+    rate_current: RateBucket,
+    rate_previous: RateBucket,
 }
 
 impl CircuitBreaker {
@@ -57,16 +129,49 @@ impl CircuitBreaker {
             consecutive_failures: 0,
             open_until: Seconds::ZERO,
             trips: 0,
+            probes_admitted: 0,
+            half_open_since: Seconds::ZERO,
+            rate_bucket_start: Seconds::ZERO,
+            rate_current: RateBucket::default(),
+            rate_previous: RateBucket::default(),
         }
     }
 
     /// Whether traffic may be sent at virtual time `now`. Transitions
-    /// `Open → HalfOpen` when the cooldown has elapsed.
+    /// `Open → HalfOpen` when the cooldown has elapsed. In `HalfOpen`, at
+    /// most [`BreakerConfig::half_open_max_probes`] calls return `true` per
+    /// episode — the fix for the probe thundering herd, where a surge of
+    /// admission checks all counted as "probe traffic" and hammered the
+    /// recovering CDN.
     pub fn allows(&mut self, now: Seconds) -> bool {
         if self.state == BreakerState::Open && now.0 >= self.open_until.0 {
             self.state = BreakerState::HalfOpen;
+            self.probes_admitted = 0;
+            self.half_open_since = now;
         }
-        self.state != BreakerState::Open
+        match self.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => false,
+            BreakerState::HalfOpen => {
+                // Probe slots can be consumed by admission checks whose
+                // session never actually lands on this CDN; without a
+                // verdict the episode would stall. After a further full
+                // cooldown, arm a fresh bounded batch — at most
+                // `half_open_max_probes` probes per cooldown, never a herd.
+                if self.probes_admitted >= self.config.half_open_max_probes
+                    && now.0 >= self.half_open_since.0 + self.config.cooldown.0
+                {
+                    self.probes_admitted = 0;
+                    self.half_open_since = now;
+                }
+                if self.probes_admitted < self.config.half_open_max_probes {
+                    self.probes_admitted += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
     }
 
     /// Records a fetch failure at virtual time `now`. Returns `true` when
@@ -75,7 +180,10 @@ impl CircuitBreaker {
         match self.state {
             BreakerState::Closed => {
                 self.consecutive_failures += 1;
-                if self.consecutive_failures >= self.config.failure_threshold {
+                self.note_outcome(now, true);
+                if self.consecutive_failures >= self.config.failure_threshold
+                    || self.rate_tripped()
+                {
                     self.trip(now);
                     return true;
                 }
@@ -94,19 +202,64 @@ impl CircuitBreaker {
         }
     }
 
-    /// Records a successful fetch: closes a half-open breaker and resets
-    /// the consecutive-failure count.
+    /// Records a successful fetch at virtual time `now`: closes a half-open
+    /// breaker and resets the consecutive-failure count. The timestamp only
+    /// feeds the rolling failure-rate window.
+    pub fn record_success_at(&mut self, now: Seconds) {
+        self.note_outcome(now, false);
+        self.record_success();
+    }
+
+    /// Records a successful fetch without a timestamp (legacy path; the
+    /// rolling rate window, if armed, books it into the current bucket).
     pub fn record_success(&mut self) {
         self.consecutive_failures = 0;
         if self.state == BreakerState::HalfOpen {
             self.state = BreakerState::Closed;
+            self.probes_admitted = 0;
         }
+    }
+
+    /// Books one outcome into the rolling-rate window. No-op unless a
+    /// [`FailureRateTrip`] is configured, so streak-only breakers carry no
+    /// extra state changes.
+    fn note_outcome(&mut self, now: Seconds, failed: bool) {
+        let Some(rate) = self.config.failure_rate else { return };
+        // Two half-width buckets: when `now` passes the current bucket,
+        // rotate. Out-of-order timestamps (session-ordered simulation) just
+        // land in the current bucket.
+        let width = (rate.window.0 / 2.0).max(1e-9);
+        if now.0 >= self.rate_bucket_start.0 + width {
+            self.rate_previous = self.rate_current;
+            self.rate_current = RateBucket::default();
+            // Skip ahead far enough that `now` lands in the new bucket; a
+            // long quiet gap also clears the previous bucket.
+            if now.0 >= self.rate_bucket_start.0 + 2.0 * width {
+                self.rate_previous = RateBucket::default();
+            }
+            self.rate_bucket_start = Seconds((now.0 / width).floor() * width);
+        }
+        self.rate_current.total += 1;
+        if failed {
+            self.rate_current.failures += 1;
+        }
+    }
+
+    /// Whether the rolling failure rate crosses the configured threshold.
+    fn rate_tripped(&self) -> bool {
+        let Some(rate) = self.config.failure_rate else { return false };
+        let failures = self.rate_current.failures + self.rate_previous.failures;
+        let total = self.rate_current.total + self.rate_previous.total;
+        total >= rate.min_samples && failures as f64 / total as f64 >= rate.threshold
     }
 
     fn trip(&mut self, now: Seconds) {
         self.state = BreakerState::Open;
         self.open_until = Seconds(now.0 + self.config.cooldown.0);
         self.consecutive_failures = 0;
+        self.probes_admitted = 0;
+        self.rate_current = RateBucket::default();
+        self.rate_previous = RateBucket::default();
         self.trips += 1;
     }
 
@@ -134,7 +287,11 @@ mod tests {
     use super::*;
 
     fn breaker() -> CircuitBreaker {
-        CircuitBreaker::new(BreakerConfig { failure_threshold: 3, cooldown: Seconds(60.0) })
+        CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Seconds(60.0),
+            ..BreakerConfig::default()
+        })
     }
 
     #[test]
@@ -198,5 +355,116 @@ mod tests {
         assert!(!b.record_failure(Seconds(50.0)));
         assert!(!b.allows(Seconds(62.0)));
         assert!(b.allows(Seconds(110.0)));
+    }
+
+    /// The thundering-herd regression: a surge of admission checks against
+    /// a half-open breaker must admit only `half_open_max_probes` probes,
+    /// not the whole crowd.
+    #[test]
+    fn half_open_probes_are_capped_per_episode() {
+        let mut b = breaker();
+        for t in 0..3 {
+            b.record_failure(Seconds(t as f64));
+        }
+        // 1000 sessions all check at once after the cooldown.
+        let admitted = (0..1000).filter(|_| b.allows(Seconds(100.0))).count();
+        assert_eq!(admitted, 3, "only the configured probe count gets through");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // A probe failure re-opens; the next episode gets a fresh cap.
+        assert!(b.record_failure(Seconds(100.0)));
+        assert!(!b.allows(Seconds(101.0)));
+        let admitted = (0..1000).filter(|_| b.allows(Seconds(200.0))).count();
+        assert_eq!(admitted, 3, "probe cap resets per half-open episode");
+        // A probe success closes the breaker and lifts the cap entirely.
+        b.record_success();
+        let admitted = (0..1000).filter(|_| b.allows(Seconds(201.0))).count();
+        assert_eq!(admitted, 1000);
+    }
+
+    /// Probe slots burned by checks that never produce a verdict must not
+    /// quarantine the CDN forever: a further full cooldown re-arms one
+    /// bounded batch.
+    #[test]
+    fn exhausted_probe_episode_rearms_after_another_cooldown() {
+        let mut b = breaker();
+        for t in 0..3 {
+            b.record_failure(Seconds(t as f64));
+        }
+        assert_eq!((0..10).filter(|_| b.allows(Seconds(100.0))).count(), 3);
+        // Still inside the probe episode: no new slots.
+        assert!(!b.allows(Seconds(120.0)));
+        // A full cooldown later with no verdict: fresh bounded batch.
+        assert_eq!((0..10).filter(|_| b.allows(Seconds(160.0))).count(), 3);
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn rate_trip_fires_despite_interleaved_successes() {
+        let mut b = CircuitBreaker::new(BreakerConfig::with_rate_trip(FailureRateTrip {
+            threshold: 0.5,
+            min_samples: 10,
+            window: Seconds(60.0),
+        }));
+        // Alternate success/failure/failure: the streak never reaches the
+        // consecutive threshold of 3, but the rate is 2/3.
+        let mut tripped = false;
+        for i in 0..30u32 {
+            let t = Seconds(i as f64);
+            if i % 3 == 0 {
+                b.record_success_at(t);
+            } else {
+                tripped |= b.record_failure(t);
+            }
+            if tripped {
+                break;
+            }
+        }
+        assert!(tripped, "failure rate 2/3 over >= 10 samples must trip");
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn rate_trip_respects_min_samples() {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 100, // streak trip effectively off
+            failure_rate: Some(FailureRateTrip {
+                threshold: 0.5,
+                min_samples: 10,
+                window: Seconds(60.0),
+            }),
+            ..BreakerConfig::default()
+        });
+        // 5 failures alone are under min_samples: no trip.
+        for i in 0..5u32 {
+            assert!(!b.record_failure(Seconds(i as f64)));
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        // 5 more cross min_samples at rate 1.0: trip.
+        let mut tripped = false;
+        for i in 5..10u32 {
+            tripped |= b.record_failure(Seconds(i as f64));
+        }
+        assert!(tripped);
+    }
+
+    #[test]
+    fn rate_window_forgets_old_outcomes() {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 100,
+            failure_rate: Some(FailureRateTrip {
+                threshold: 0.5,
+                min_samples: 4,
+                window: Seconds(60.0),
+            }),
+            ..BreakerConfig::default()
+        });
+        // Three early failures, then a long quiet gap.
+        for i in 0..3u32 {
+            assert!(!b.record_failure(Seconds(i as f64)));
+        }
+        // 500s later the old bucket has rotated out; one fresh failure is
+        // 1/1 but below min_samples, so still no trip.
+        assert!(!b.record_failure(Seconds(500.0)));
+        assert_eq!(b.state(), BreakerState::Closed);
     }
 }

@@ -63,7 +63,7 @@ proptest! {
         cooldown in 1.0f64..500.0,
         probe_frac in 0.0f64..0.999,
     ) {
-        let config = BreakerConfig { failure_threshold: threshold, cooldown: Seconds(cooldown) };
+        let config = BreakerConfig { failure_threshold: threshold, cooldown: Seconds(cooldown), ..BreakerConfig::default() };
         let mut breaker = CircuitBreaker::new(config);
         let mut tripped = false;
         for _ in 0..threshold {

@@ -102,6 +102,10 @@ pub struct MediaPlaylist {
     pub target_duration: u32,
     /// `EXT-X-PLAYLIST-TYPE` (VOD/EVENT), if present.
     pub playlist_type: Option<String>,
+    /// `EXT-X-MEDIA-SEQUENCE` value: the media sequence number of the first
+    /// segment listed. A live playlist advances this as old segments slide
+    /// out of the window (RFC 8216 §4.3.3.2); VoD playlists keep it at 0.
+    pub media_sequence: u64,
     /// Segments in order.
     pub segments: Vec<Segment>,
     /// Whether `EXT-X-ENDLIST` was present (VoD complete).
@@ -174,6 +178,34 @@ pub fn write_media(p: &MediaPresentation, rung: &LadderRung) -> String {
                 ));
             }
         }
+    }
+    out
+}
+
+/// Renders a *sliding-window* live media playlist for one rung: the
+/// `window` most recent segments, with `#EXT-X-MEDIA-SEQUENCE` advanced to
+/// the sequence number of the oldest segment still advertised and no
+/// `#EXT-X-ENDLIST` (the event is ongoing). Re-rendering one chunk
+/// duration later yields the same playlist shifted by one segment with the
+/// media sequence incremented — the refresh cadence a live player polls at.
+pub fn write_live_media(
+    p: &MediaPresentation,
+    rung: &LadderRung,
+    media_sequence: u64,
+    window: usize,
+) -> String {
+    let mut out = String::from("#EXTM3U\n#EXT-X-VERSION:6\n");
+    let target = p.chunk_duration.0.ceil().max(1.0) as u32;
+    out.push_str(&format!("#EXT-X-TARGETDURATION:{target}\n"));
+    out.push_str(&format!("#EXT-X-MEDIA-SEQUENCE:{media_sequence}\n"));
+    for i in 0..window.max(1) as u64 {
+        out.push_str(&format!("#EXTINF:{:.3},\n", p.chunk_duration.0));
+        out.push_str(&format!(
+            "{}/v{}/live-{:05}.ts\n",
+            p.content_token,
+            rung.bitrate.0,
+            media_sequence + i
+        ));
     }
     out
 }
@@ -266,6 +298,7 @@ pub fn parse_media(input: &str) -> Result<MediaPlaylist, ManifestError> {
     let mut version = 1;
     let mut target_duration = None;
     let mut playlist_type = None;
+    let mut media_sequence = 0u64;
     let mut segments = Vec::new();
     let mut ended = false;
     let mut pending: Option<Seconds> = None;
@@ -286,6 +319,10 @@ pub fn parse_media(input: &str) -> Result<MediaPlaylist, ManifestError> {
             );
         } else if let Some(v) = line.strip_prefix("#EXT-X-PLAYLIST-TYPE:") {
             playlist_type = Some(v.to_string());
+        } else if let Some(v) = line.strip_prefix("#EXT-X-MEDIA-SEQUENCE:") {
+            media_sequence = v
+                .parse()
+                .map_err(|_| ManifestError::parse("HLS", lineno, "bad media sequence"))?;
         } else if let Some(v) = line.strip_prefix("#EXTINF:") {
             let duration_text = v.split(',').next().unwrap_or_default();
             let duration: f64 = duration_text
@@ -311,7 +348,7 @@ pub fn parse_media(input: &str) -> Result<MediaPlaylist, ManifestError> {
     }
     let target_duration = target_duration
         .ok_or_else(|| ManifestError::parse("HLS", 0, "missing EXT-X-TARGETDURATION"))?;
-    Ok(MediaPlaylist { version, target_duration, playlist_type, segments, ended })
+    Ok(MediaPlaylist { version, target_duration, playlist_type, media_sequence, segments, ended })
 }
 
 /// Parses an HLS attribute list: comma-separated KEY=VALUE pairs where
@@ -433,6 +470,27 @@ mod tests {
         let media = parse_media(&text).unwrap();
         assert!(!media.ended);
         assert_eq!(media.segments.len(), 3);
+    }
+
+    #[test]
+    fn live_window_slides_with_media_sequence_advance() {
+        let p = PresentationBuilder::new("ev1", BitrateLadder::from_bitrates(&[800]).unwrap())
+            .chunk_duration(Seconds(4.0))
+            .build()
+            .unwrap();
+        let rung = p.ladder.rungs()[0];
+        let now = parse_media(&write_live_media(&p, &rung, 120, 5)).unwrap();
+        let next = parse_media(&write_live_media(&p, &rung, 121, 5)).unwrap();
+        assert_eq!(now.media_sequence, 120);
+        assert_eq!(next.media_sequence, 121);
+        assert!(!now.ended && !next.ended, "live playlists never end");
+        assert_eq!(now.segments.len(), 5);
+        // The window slid by one: four URIs shared, oldest dropped, one new.
+        assert_eq!(now.segments[1..], next.segments[..4]);
+        assert_eq!(next.segments.last().unwrap().uri, "ev1/v800/live-00125.ts");
+        // VoD playlists keep sequence 0.
+        let vod = parse_media(&write_media(&presentation(), &presentation().ladder.rungs()[0])).unwrap();
+        assert_eq!(vod.media_sequence, 0);
     }
 
     #[test]

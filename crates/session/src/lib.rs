@@ -16,10 +16,12 @@
 #![warn(missing_docs)]
 
 pub mod hooks;
+pub mod live;
 pub mod player;
 pub mod telemetry;
 
 pub use hooks::{CompletionSink, SessionEnd};
+pub use live::{surge_infrastructure_fn, LiveWindow, SurgeLayer};
 pub use player::{
     infrastructure_fn, ChunkRequest, ChunkServe, ExitCause, MultiCdnContext, PlaybackConfig,
     Player, SessionOutcome,

@@ -1,0 +1,274 @@
+//! Live-event playback state: the sliding window and the surge-protected
+//! delivery path.
+//!
+//! A live event changes the shape of the workload in three correlated ways
+//! that VoD never exhibits:
+//!
+//! 1. **Everyone wants the same bytes.** Chunk keys derive from the event's
+//!    *media sequence* (the `#EXT-X-MEDIA-SEQUENCE` counter in the sliding
+//!    live manifest), not from a per-session chunk index, so ten thousand
+//!    viewers at the live edge request the *same* chunk in the same few
+//!    seconds — synchronized request phases.
+//! 2. **The live edge paces everyone.** A chunk does not exist until the
+//!    encoder publishes it; a player that drains its buffer waits at the
+//!    live edge for the next publish instead of racing ahead.
+//! 3. **Arrivals are correlated.** Viewers join in a storm around the
+//!    event start (modeled in `vmp-synth`), not as a memoryless trickle.
+//!
+//! [`LiveWindow`] carries the event timeline into the player, and
+//! [`surge_infrastructure_fn`] wraps the standard per-CDN infrastructure
+//! with the overload-protection layer from `vmp-cdn`: admission control
+//! ([`EdgeCapacity`]), origin-shield coalescing ([`OriginShield`]) — the
+//! shared retry budget is wired separately through
+//! [`MultiCdnContext::retry_budget`](crate::player::MultiCdnContext).
+
+use std::collections::BTreeMap;
+use vmp_cdn::capacity::EdgeCapacity;
+use vmp_cdn::edge::{CacheOutcome, EdgeCluster};
+use vmp_cdn::error::FetchError;
+use vmp_cdn::routing::Router;
+use vmp_cdn::shield::OriginShield;
+use vmp_core::cdn::CdnName;
+use vmp_core::units::{Kbps, Seconds};
+use vmp_faults::FaultInjector;
+use vmp_manifest::hls::{write_live_media, MediaPlaylist};
+use vmp_manifest::types::ManifestError;
+use vmp_manifest::types::MediaPresentation;
+use vmp_stats::Rng;
+
+use crate::player::{ChunkRequest, ChunkServe};
+
+/// The shared timeline of one live event: when it starts, how fast the
+/// encoder publishes, and how many segments the manifest window advertises.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LiveWindow {
+    /// Virtual-clock time the event (and media sequence 0) starts.
+    pub event_start: Seconds,
+    /// Publish cadence: one segment every `chunk_duration`.
+    pub chunk_duration: Seconds,
+    /// Segments advertised by the sliding manifest window.
+    pub window_size: u32,
+    /// Distinguishes this event's chunk keys from every other content in
+    /// the shared edge caches.
+    pub salt: u64,
+}
+
+impl LiveWindow {
+    /// A window for an event starting at `event_start` with a 4-second
+    /// cadence and a 6-segment manifest window.
+    pub fn new(event_start: Seconds, salt: u64) -> LiveWindow {
+        LiveWindow { event_start, chunk_duration: Seconds(4.0), window_size: 6, salt }
+    }
+
+    /// The live-edge media sequence at `clock`: the segment currently
+    /// being produced, which a viewer joining now targets first (waiting
+    /// out its [`publish_time`](LiveWindow::publish_time) if the encoder
+    /// has not finished it). Before the event starts this is sequence 0.
+    pub fn sequence_at(&self, clock: Seconds) -> u64 {
+        let elapsed = clock.0 - self.event_start.0;
+        if elapsed <= 0.0 {
+            0
+        } else {
+            (elapsed / self.chunk_duration.0) as u64
+        }
+    }
+
+    /// Oldest media sequence still inside the sliding manifest window at
+    /// `clock`. A viewer who falls further behind than this has slid out of
+    /// the window and must jump forward.
+    pub fn oldest_at(&self, clock: Seconds) -> u64 {
+        self.sequence_at(clock).saturating_sub(self.window_size.max(1) as u64 - 1)
+    }
+
+    /// When segment `sequence` becomes available to fetch.
+    pub fn publish_time(&self, sequence: u64) -> Seconds {
+        Seconds(self.event_start.0 + (sequence + 1) as f64 * self.chunk_duration.0)
+    }
+
+    /// The chunk key every viewer at `sequence` requests for `bitrate` —
+    /// shared across sessions, which is what makes live request phases
+    /// synchronized at the edge.
+    pub fn chunk_key(&self, sequence: u64, bitrate: Kbps) -> u64 {
+        sequence ^ (bitrate.0 as u64) << 40 ^ self.salt
+    }
+
+    /// Renders the sliding live manifest a viewer polling at `clock` sees:
+    /// the newest `window_size` published segments with
+    /// `#EXT-X-MEDIA-SEQUENCE` advanced accordingly. Round-trips through
+    /// the HLS writer and parser, so the error is surfaced rather than
+    /// assumed away.
+    pub fn manifest_at(
+        &self,
+        presentation: &MediaPresentation,
+        rung_index: usize,
+        clock: Seconds,
+    ) -> Result<MediaPlaylist, ManifestError> {
+        let rungs = presentation.ladder.rungs();
+        let rung = rungs[rung_index.min(rungs.len().saturating_sub(1))];
+        let text =
+            write_live_media(presentation, &rung, self.oldest_at(clock), self.window_size as usize);
+        vmp_manifest::hls::parse_media(&text)
+    }
+}
+
+/// The per-CDN overload-protection state shared by every session in a
+/// surge cohort: admission control in front of the edges and an origin
+/// shield behind them.
+#[derive(Debug)]
+pub struct SurgeLayer {
+    /// Admission control per CDN.
+    pub capacity: BTreeMap<CdnName, EdgeCapacity>,
+    /// Origin shield per CDN.
+    pub shields: BTreeMap<CdnName, OriginShield>,
+}
+
+impl SurgeLayer {
+    /// Total requests shed across all CDNs.
+    pub fn total_shed(&self) -> u64 {
+        self.capacity.values().map(|c| c.shed()).sum()
+    }
+
+    /// Total coalesced origin requests across all CDNs.
+    pub fn total_coalesced(&self) -> u64 {
+        self.shields.values().map(|s| s.coalesced()).sum()
+    }
+}
+
+/// Builds a [`MultiCdnContext::infrastructure`](crate::player::MultiCdnContext)
+/// closure for a surge cohort: the standard fault-aware delivery path of
+/// [`infrastructure_fn`](crate::player::infrastructure_fn) with the
+/// overload-protection layer threaded in. Order per request: scheduled
+/// outage → pending cache flushes → **admission control** (over-capacity
+/// requests shed with [`FetchError::Shed`], new joins first) → anycast
+/// routing → **origin shield** (a miss that races an in-flight origin
+/// fetch coalesces instead of hitting the origin) → edge fetch → origin
+/// error burst → degraded-throughput multiplier.
+///
+/// RNG discipline matches the base closure: the surge layer itself never
+/// draws from the RNG, so a cohort with generous capacity and no faults
+/// consumes exactly the stream the unprotected path would.
+pub fn surge_infrastructure_fn<'a>(
+    routers: &'a BTreeMap<CdnName, Router>,
+    edges: &'a mut BTreeMap<CdnName, EdgeCluster>,
+    region_index: usize,
+    faults: Option<&'a FaultInjector>,
+    surge: &'a mut SurgeLayer,
+) -> impl FnMut(&ChunkRequest, &mut Rng) -> Result<ChunkServe, FetchError> + 'a {
+    let mut last_flush: BTreeMap<CdnName, Seconds> = BTreeMap::new();
+    move |req, rng| {
+        let cdn = req.cdn;
+        let region = Some(region_index);
+        if let Some(fi) = faults {
+            if fi.outage_in(cdn, region, req.clock) {
+                return Err(FetchError::Outage { cdn });
+            }
+            let since = last_flush.get(&cdn).copied().unwrap_or(Seconds::ZERO);
+            if fi.cache_flush_between_in(cdn, region, since, req.clock) {
+                if let Some(e) = edges.get_mut(&cdn) {
+                    e.flush_all();
+                }
+            }
+            last_flush.insert(cdn, req.clock);
+        }
+        if let Some(capacity) = surge.capacity.get_mut(&cdn) {
+            if !capacity.admit(region_index, req.clock, req.joining) {
+                return Err(FetchError::Shed { cdn });
+            }
+        }
+        let reset = routers
+            .get(&cdn)
+            .map(|r| r.route_chunk(req.key, rng).connection_reset)
+            .unwrap_or(false);
+        let edge_key = req.key ^ (cdn.dense_index() as u64) << 56;
+        if let Some(shield) = surge.shields.get_mut(&cdn) {
+            if shield.coalesce(edge_key, req.clock) {
+                // An origin fetch for this chunk is already in flight:
+                // wait on it instead of stampeding the origin. The payload
+                // is byte-identical to the leader's, and origin-error
+                // bursts cannot strike a request that never reaches the
+                // origin.
+                let throughput_factor =
+                    faults.map(|fi| fi.throughput_factor_in(cdn, region, req.clock)).unwrap_or(1.0);
+                return Ok(ChunkServe {
+                    cache: CacheOutcome::Miss,
+                    coalesced: true,
+                    connection_reset: reset,
+                    throughput_factor,
+                });
+            }
+        }
+        let cache = match edges.get_mut(&cdn) {
+            Some(e) => e.fetch(region_index, edge_key, req.size)?,
+            None => CacheOutcome::Hit,
+        };
+        if cache == CacheOutcome::Miss {
+            if let Some(shield) = surge.shields.get_mut(&cdn) {
+                shield.begin_fetch(edge_key, req.clock);
+            }
+            if let Some(fi) = faults {
+                if fi.origin_error_in(cdn, region, req.clock, rng) {
+                    return Err(FetchError::OriginUnavailable { cdn });
+                }
+            }
+        }
+        let throughput_factor =
+            faults.map(|fi| fi.throughput_factor_in(cdn, region, req.clock)).unwrap_or(1.0);
+        Ok(ChunkServe { cache, coalesced: false, connection_reset: reset, throughput_factor })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmp_core::ladder::BitrateLadder;
+    use vmp_manifest::types::PresentationBuilder;
+
+    fn window() -> LiveWindow {
+        LiveWindow::new(Seconds(100.0), 0xE4E47)
+    }
+
+    #[test]
+    fn live_edge_advances_with_the_clock() {
+        let lw = window();
+        assert_eq!(lw.sequence_at(Seconds(0.0)), 0, "pre-event viewers wait for sequence 0");
+        assert_eq!(lw.sequence_at(Seconds(100.0)), 0);
+        assert_eq!(lw.sequence_at(Seconds(104.5)), 1);
+        assert_eq!(lw.sequence_at(Seconds(140.0)), 10);
+        assert_eq!(lw.publish_time(0), Seconds(104.0));
+        assert_eq!(lw.publish_time(9), Seconds(140.0));
+    }
+
+    #[test]
+    fn sliding_window_tracks_the_edge() {
+        let lw = window();
+        assert_eq!(lw.oldest_at(Seconds(100.0)), 0, "window not yet full");
+        // At sequence 10 the 6-wide window spans [5, 10].
+        assert_eq!(lw.oldest_at(Seconds(140.0)), 5);
+    }
+
+    #[test]
+    fn chunk_keys_are_shared_across_viewers_but_not_bitrates() {
+        let lw = window();
+        assert_eq!(lw.chunk_key(3, Kbps(800)), lw.chunk_key(3, Kbps(800)));
+        assert_ne!(lw.chunk_key(3, Kbps(800)), lw.chunk_key(3, Kbps(1600)));
+        assert_ne!(lw.chunk_key(3, Kbps(800)), lw.chunk_key(4, Kbps(800)));
+        let other_event = LiveWindow::new(Seconds(100.0), 0xBEEF);
+        assert_ne!(lw.chunk_key(3, Kbps(800)), other_event.chunk_key(3, Kbps(800)));
+    }
+
+    #[test]
+    fn manifest_at_renders_the_sliding_window() {
+        let lw = window();
+        let p = PresentationBuilder::new("ev", BitrateLadder::from_bitrates(&[800]).unwrap())
+            .chunk_duration(Seconds(4.0))
+            .build()
+            .unwrap();
+        let early = lw.manifest_at(&p, 0, Seconds(100.0)).unwrap();
+        assert_eq!(early.media_sequence, 0);
+        assert!(!early.ended);
+        let later = lw.manifest_at(&p, 0, Seconds(140.0)).unwrap();
+        assert_eq!(later.media_sequence, 5);
+        assert_eq!(later.segments.len(), 6);
+        assert_eq!(later.segments[0].uri, "ev/v800/live-00005.ts");
+    }
+}

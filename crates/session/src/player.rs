@@ -12,10 +12,12 @@
 //! disabled) a fault-free session consumes exactly the same RNG stream as
 //! before this machinery existed.
 
+use crate::live::LiveWindow;
 use vmp_abr::algorithm::{AbrAlgorithm, AbrState};
 use vmp_abr::network::NetworkModel;
 use vmp_abr::predict::{HarmonicMeanPredictor, ThroughputPredictor};
 use vmp_cdn::broker::Broker;
+use vmp_cdn::budget::RetryBudget;
 use vmp_cdn::edge::{CacheOutcome, EdgeCluster};
 use vmp_cdn::error::FetchError;
 use vmp_cdn::routing::Router;
@@ -60,6 +62,12 @@ pub struct PlaybackConfig {
     /// disables timeouts, so fault-free simulations behave exactly as they
     /// did before fault injection existed.
     pub retry: RetryPolicy,
+    /// When set, this session follows a shared live event: chunk keys
+    /// derive from the event's media sequence (so every viewer at the live
+    /// edge requests the same bytes) and the player waits out segment
+    /// publish times instead of racing ahead of the encoder. `None` (the
+    /// default) keeps the original per-session VoD keying.
+    pub live_window: Option<LiveWindow>,
 }
 
 impl PlaybackConfig {
@@ -75,6 +83,7 @@ impl PlaybackConfig {
             class: ContentClass::Vod,
             start_offset: Seconds::ZERO,
             retry: RetryPolicy::default(),
+            live_window: None,
         }
     }
 
@@ -90,6 +99,7 @@ impl PlaybackConfig {
             class: ContentClass::Live,
             start_offset: Seconds::ZERO,
             retry: RetryPolicy::default(),
+            live_window: None,
         }
     }
 
@@ -122,6 +132,9 @@ pub struct ChunkRequest {
     /// The session's fault clock at request time (virtual seconds on the
     /// shared incident timeline, never wall time).
     pub clock: Seconds,
+    /// Whether the session is still joining (has not started playback).
+    /// Admission control sheds joining requests before in-progress ones.
+    pub joining: bool,
 }
 
 /// Multi-CDN context: broker-driven selection and mid-stream failover.
@@ -141,6 +154,11 @@ pub struct MultiCdnContext<'a> {
     pub health_gate: bool,
     /// The shared fault plan, if this cohort runs under injected faults.
     pub faults: Option<&'a FaultInjector>,
+    /// Shared per-CDN retry budget, layered over per-session backoff. When
+    /// the budget denies a retry the session escalates straight to
+    /// failover instead of hammering the struggling CDN. `None` keeps the
+    /// original unbudgeted behaviour.
+    pub retry_budget: Option<&'a RetryBudget>,
     /// Per-CDN infrastructure: router and shared edge cluster.
     pub infrastructure: &'a mut dyn FnMut(&ChunkRequest, &mut Rng) -> Result<ChunkServe, FetchError>,
 }
@@ -160,6 +178,9 @@ impl std::fmt::Debug for MultiCdnContext<'_> {
 pub struct ChunkServe {
     /// Edge cache outcome (miss adds origin fetch latency).
     pub cache: CacheOutcome,
+    /// Whether this miss coalesced onto an in-flight origin fetch at the
+    /// origin shield (cheaper than a dedicated origin round trip).
+    pub coalesced: bool,
     /// Whether an anycast route flap reset the connection.
     pub connection_reset: bool,
     /// Multiplier on delivered throughput, `(0, 1]`; below 1 during an
@@ -170,7 +191,7 @@ pub struct ChunkServe {
 impl ChunkServe {
     /// A plain edge hit with no reset at full throughput.
     pub fn hit() -> ChunkServe {
-        ChunkServe { cache: CacheOutcome::Hit, connection_reset: false, throughput_factor: 1.0 }
+        ChunkServe { cache: CacheOutcome::Hit, coalesced: false, connection_reset: false, throughput_factor: 1.0 }
     }
 }
 
@@ -235,7 +256,7 @@ pub fn infrastructure_fn<'a>(
         }
         let throughput_factor =
             faults.map(|fi| fi.throughput_factor_in(cdn, region, req.clock)).unwrap_or(1.0);
-        Ok(ChunkServe { cache, connection_reset: reset, throughput_factor })
+        Ok(ChunkServe { cache, coalesced: false, connection_reset: reset, throughput_factor })
     }
 }
 
@@ -306,6 +327,17 @@ struct FailoverCtx<'a> {
     p_fail: f64,
     enabled: bool,
     health_gate: bool,
+    retry_budget: Option<&'a RetryBudget>,
+}
+
+/// Consults the shared retry budget (when one is wired) before a backoff
+/// retry. Granting spends a token; denial converts the retry into an
+/// immediate failover escalation.
+fn budget_grants(failover: &Option<FailoverCtx<'_>>, cdn: CdnName, now: Seconds) -> bool {
+    match failover {
+        Some(FailoverCtx { retry_budget: Some(budget), .. }) => budget.try_spend(cdn, now),
+        _ => true,
+    }
 }
 
 /// The player: owns the per-session mutable state.
@@ -379,6 +411,7 @@ impl<'a> Player<'a> {
             p_fail: ctx.failure_probability,
             enabled: ctx.failover_enabled,
             health_gate: ctx.health_gate,
+            retry_budget: ctx.retry_budget,
         };
         // Split borrows: the closure is separate from the broker references.
         let serve = &mut *ctx.infrastructure;
@@ -412,6 +445,7 @@ impl<'a> Player<'a> {
         let mut cdn_switches = 0u32;
         let mut last_bitrate = Kbps::ZERO;
         let mut chunk_index = 0u64;
+        let mut live_seq: Option<u64> = None;
         let mut clock = cfg.start_offset;
         let mut retries = 0u32;
         let mut timeouts = 0u32;
@@ -430,7 +464,7 @@ impl<'a> Player<'a> {
                         fo.broker.record_fetch_failure(cdn, clock);
                     }
                 }
-                if attempt < cfg.retry.max_retries {
+                if attempt < cfg.retry.max_retries && budget_grants(&failover, cdn, clock) {
                     let wait = cfg.retry.backoff(attempt, rng);
                     clock += wait;
                     startup_delay += wait;
@@ -503,6 +537,22 @@ impl<'a> Player<'a> {
             };
             let chosen = self.abr.choose(&cfg.ladder, &state);
 
+            // Live pacing: the next segment may not be published yet. The
+            // player idles at the live edge until the encoder finishes it —
+            // a clock-only advance, same idiom as the max-buffer pacing
+            // below (media keeps playing during the wait). A viewer who
+            // slid out of the manifest window jumps forward to rejoin it.
+            if let Some(lw) = &cfg.live_window {
+                let next = match live_seq {
+                    None => lw.sequence_at(clock),
+                    Some(prev) => (prev + 1).max(lw.oldest_at(clock)),
+                };
+                let publish = lw.publish_time(next);
+                if publish.0 > clock.0 {
+                    clock = publish;
+                }
+                live_seq = Some(next);
+            }
             // Download, with bounded retries. Retries degrade to the lowest
             // rung: while a CDN is misbehaving the client fights for liveness,
             // not quality.
@@ -513,13 +563,20 @@ impl<'a> Player<'a> {
                 let size = bitrate.bytes_for(this_chunk);
                 let throughput = self.network.next_throughput(rng);
                 let rtt = self.network.rtt(rng);
-                let req = ChunkRequest { cdn, key: chunk_index ^ (bitrate.0 as u64) << 40, size, clock };
+                let key = match (&cfg.live_window, live_seq) {
+                    (Some(lw), Some(seq)) => lw.chunk_key(seq, bitrate),
+                    _ => chunk_index ^ (bitrate.0 as u64) << 40,
+                };
+                let req = ChunkRequest { cdn, key, size, clock, joining: !started };
                 let failure = match serve(&req, rng) {
                     Err(e) => e,
                     Ok(served) => {
                         let mut latency = rtt.0;
                         if served.cache == CacheOutcome::Miss {
-                            latency += 3.0 * rtt.0; // origin fetch behind the edge
+                            // A coalesced miss waits on an in-flight origin
+                            // fetch (roughly half a round trip on average)
+                            // instead of paying a full one.
+                            latency += if served.coalesced { 1.5 * rtt.0 } else { 3.0 * rtt.0 };
                         }
                         if served.connection_reset {
                             latency += 2.0 * rtt.0; // TCP reconnect after a route flap
@@ -547,7 +604,7 @@ impl<'a> Player<'a> {
                         fo.broker.record_fetch_failure(cdn, clock);
                     }
                 }
-                if attempt < cfg.retry.max_retries {
+                if attempt < cfg.retry.max_retries && budget_grants(&failover, cdn, clock) {
                     let wait = cfg.retry.backoff(attempt, rng);
                     chunk_wait += wait;
                     clock += wait;
@@ -832,6 +889,7 @@ mod tests {
             failover_enabled: true,
             health_gate: false,
             faults: None,
+            retry_budget: None,
             infrastructure: &mut infra,
         };
         let mut rng = Rng::seed_from(11);
@@ -847,7 +905,7 @@ mod tests {
         // All-miss CDN.
         let mut player = Player::new(cfg.clone(), network(1.0), &abr).unwrap();
         let mut all_miss = |_req: &ChunkRequest, _r: &mut Rng| {
-            Ok(ChunkServe { cache: CacheOutcome::Miss, connection_reset: false, throughput_factor: 1.0 })
+            Ok(ChunkServe { cache: CacheOutcome::Miss, coalesced: false, connection_reset: false, throughput_factor: 1.0 })
         };
         let mut rng = Rng::seed_from(9);
         let miss_out = player.run(CdnName::A, None, None, &mut all_miss, &mut rng);
@@ -896,6 +954,7 @@ mod tests {
             p_fail: 0.0,
             enabled: true,
             health_gate: true,
+            retry_budget: None,
         };
         let mut rng = Rng::seed_from(13);
         let out = player.run(CdnName::A, Some(failover), None, &mut infra, &mut rng);
@@ -936,7 +995,7 @@ mod tests {
         let mut player = Player::new(cfg, network(1.0), &abr).unwrap();
         // Deliver at 0.1% throughput: every fetch exceeds the 10s timeout.
         let mut throttled = |_req: &ChunkRequest, _r: &mut Rng| {
-            Ok(ChunkServe { cache: CacheOutcome::Hit, connection_reset: false, throughput_factor: 0.001 })
+            Ok(ChunkServe { cache: CacheOutcome::Hit, coalesced: false, connection_reset: false, throughput_factor: 0.001 })
         };
         let mut rng = Rng::seed_from(19);
         let out = player.run(CdnName::A, None, None, &mut throttled, &mut rng);

@@ -27,11 +27,13 @@
 #![warn(missing_docs)]
 
 pub mod ecosystem;
+pub mod live;
 pub mod publisher_gen;
 pub mod syndigraph;
 pub mod trends;
 pub mod views;
 
 pub use ecosystem::{Dataset, EcosystemConfig};
+pub use live::JoinStorm;
 pub use publisher_gen::{PublisherProfile, SnapshotPlane};
 pub use syndigraph::SyndicationGraph;

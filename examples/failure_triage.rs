@@ -155,6 +155,7 @@ fn run_population(seed: u64, profile: &FaultProfile, sink: &mut dyn CompletionSi
             failover_enabled: false,
             health_gate: false,
             faults: Some(&injector),
+            retry_budget: None,
             infrastructure: &mut infra,
         };
         let out = player.play_multi_cdn(&mut ctx, &mut rng);

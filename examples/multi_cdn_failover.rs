@@ -77,6 +77,7 @@ fn main() {
             failover_enabled: true,
             health_gate: false,
             faults: None,
+            retry_budget: None,
             infrastructure: &mut infra,
         };
         let outcome = player.play_multi_cdn(&mut ctx, &mut rng);
