@@ -30,7 +30,9 @@
 //! re-ingesting the survivors.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::io::{self, Read, Write};
 use std::ops::Range;
+use std::sync::Arc;
 
 use vmp_core::cdn::CdnName;
 use vmp_core::content::ContentClass;
@@ -42,7 +44,8 @@ use vmp_core::protocol::StreamingProtocol;
 use vmp_core::time::SnapshotId;
 use vmp_core::view::{OwnershipFlag, SampledView};
 
-use crate::store::{ViewRef, ViewStore};
+use crate::segstore::SegmentMeta;
+use crate::store::ViewStore;
 
 /// Sentinel code for "this row carries no value of the dimension"
 /// (unclassifiable manifest URL, non-browser device for the browser-tech
@@ -86,64 +89,60 @@ pub struct Segment {
 }
 
 impl Segment {
-    /// Builds one snapshot's columns. `protocol` and `player` are the
-    /// ingest-derived codes, aligned with `rows`.
-    pub(crate) fn build(
-        snapshot: SnapshotId,
-        rows: Range<usize>,
-        views: &[SampledView],
-        protocol: Vec<u8>,
-        player: Vec<u32>,
-    ) -> Segment {
-        let n = rows.len();
-        debug_assert_eq!(protocol.len(), n);
-        debug_assert_eq!(player.len(), n);
-        let mut seg = Segment {
+    /// Opens an empty segment for incremental building (`row_start` is the
+    /// segment's first logical row in the whole ingest stream).
+    pub(crate) fn new_open(snapshot: SnapshotId, row_start: usize) -> Segment {
+        Segment {
             snapshot,
-            rows: rows.clone(),
-            publisher: Vec::with_capacity(n),
-            device: Vec::with_capacity(n),
-            platform: Vec::with_capacity(n),
-            protocol,
-            region: Vec::with_capacity(n),
-            isp: Vec::with_capacity(n),
-            connection: Vec::with_capacity(n),
-            class: Vec::with_capacity(n),
-            owner: Vec::with_capacity(n),
-            cdn_mask: Vec::with_capacity(n),
-            rungs: Vec::with_capacity(n),
-            player,
-            hours: Vec::with_capacity(n),
-            weight: Vec::with_capacity(n),
-        };
-        for v in &views[rows] {
-            let r = &v.record;
-            seg.publisher.push(r.publisher.raw());
-            seg.device.push(r.device.code());
-            seg.platform.push(r.device.platform().code());
-            seg.region.push(r.region.code());
-            seg.isp.push(r.isp.code());
-            seg.connection.push(r.connection.code());
-            seg.class.push(r.class.code());
-            seg.owner.push(match r.ownership {
-                OwnershipFlag::Owned => NO_OWNER,
-                OwnershipFlag::Syndicated { owner } => owner.raw(),
-            });
-            let mut mask = 0u64;
-            for cdn in &r.cdns {
-                // CDN ids are dense indexes by construction; anything else
-                // would also be dropped by the reference's
-                // `CdnName::from_dense_index` filter.
-                if cdn.index() < CdnName::OBSERVED_TOTAL {
-                    mask |= 1u64 << cdn.index();
-                }
-            }
-            seg.cdn_mask.push(mask);
-            seg.rungs.push(r.available_bitrates.len() as u16);
-            seg.hours.push(r.view_hours());
-            seg.weight.push(v.weight);
+            rows: row_start..row_start,
+            publisher: Vec::new(),
+            device: Vec::new(),
+            platform: Vec::new(),
+            protocol: Vec::new(),
+            region: Vec::new(),
+            isp: Vec::new(),
+            connection: Vec::new(),
+            class: Vec::new(),
+            owner: Vec::new(),
+            cdn_mask: Vec::new(),
+            rungs: Vec::new(),
+            player: Vec::new(),
+            hours: Vec::new(),
+            weight: Vec::new(),
         }
-        seg
+    }
+
+    /// Appends one row's columns. `protocol_code` and `player_code` are the
+    /// ingest-derived dictionary codes.
+    pub(crate) fn push_row(&mut self, v: &SampledView, protocol_code: u8, player_code: u32) {
+        let r = &v.record;
+        self.publisher.push(r.publisher.raw());
+        self.device.push(r.device.code());
+        self.platform.push(r.device.platform().code());
+        self.protocol.push(protocol_code);
+        self.region.push(r.region.code());
+        self.isp.push(r.isp.code());
+        self.connection.push(r.connection.code());
+        self.class.push(r.class.code());
+        self.owner.push(match r.ownership {
+            OwnershipFlag::Owned => NO_OWNER,
+            OwnershipFlag::Syndicated { owner } => owner.raw(),
+        });
+        let mut mask = 0u64;
+        for cdn in &r.cdns {
+            // CDN ids are dense indexes by construction; anything else
+            // would also be dropped by the reference's
+            // `CdnName::from_dense_index` filter.
+            if cdn.index() < CdnName::OBSERVED_TOTAL {
+                mask |= 1u64 << cdn.index();
+            }
+        }
+        self.cdn_mask.push(mask);
+        self.rungs.push(r.available_bitrates.len() as u16);
+        self.hours.push(r.view_hours());
+        self.weight.push(v.weight);
+        self.player.push(player_code);
+        self.rows.end += 1;
     }
 
     /// The snapshot this segment holds.
@@ -243,17 +242,135 @@ impl Segment {
         self.weight[i] * self.hours[i]
     }
 
-    /// Compatibility iterator of [`ViewRef`]s over this segment's rows.
-    pub(crate) fn view_refs<'a>(
-        &'a self,
-        views: &'a [SampledView],
-    ) -> impl Iterator<Item = ViewRef<'a>> + Clone {
-        let start = self.rows.start;
-        (0..self.len()).map(move |j| ViewRef {
-            view: &views[start + j],
-            protocol: StreamingProtocol::from_code(self.protocol[j]),
-        })
+    /// The segment's descriptor (snapshot + logical row range).
+    pub(crate) fn meta(&self) -> SegmentMeta {
+        SegmentMeta { snapshot: self.snapshot, rows: self.rows.clone() }
     }
+
+    /// Decoded heap footprint in bytes (cache-budget accounting).
+    pub(crate) fn heap_bytes(&self) -> usize {
+        self.publisher.len() * crate::segstore::BYTES_PER_ROW
+    }
+
+    /// Serializes the segment as one spill block (little-endian, lossless
+    /// — `f64` columns round-trip bit for bit, so rollups over a reloaded
+    /// segment are byte-identical). Returns the block size in bytes.
+    pub(crate) fn write_block<W: Write>(&self, w: &mut W) -> io::Result<u64> {
+        let n = self.publisher.len() as u64;
+        w.write_all(&SPILL_MAGIC)?;
+        let mut bytes = SPILL_MAGIC.len() as u64;
+        for header in [self.snapshot.index() as u64, self.rows.start as u64, n] {
+            w.write_all(&header.to_le_bytes())?;
+            bytes += 8;
+        }
+        bytes += write_u32s(w, &self.publisher)?;
+        for col in [
+            &self.device,
+            &self.platform,
+            &self.protocol,
+            &self.region,
+            &self.isp,
+            &self.connection,
+            &self.class,
+        ] {
+            w.write_all(col)?;
+            bytes += col.len() as u64;
+        }
+        bytes += write_u32s(w, &self.owner)?;
+        for &v in &self.cdn_mask {
+            w.write_all(&v.to_le_bytes())?;
+        }
+        bytes += 8 * n;
+        for &v in &self.rungs {
+            w.write_all(&v.to_le_bytes())?;
+        }
+        bytes += 2 * n;
+        bytes += write_u32s(w, &self.player)?;
+        for col in [&self.hours, &self.weight] {
+            for &v in col.iter() {
+                w.write_all(&v.to_bits().to_le_bytes())?;
+            }
+            bytes += 8 * n;
+        }
+        Ok(bytes)
+    }
+
+    /// Reads one spill block back into a decoded segment.
+    pub(crate) fn read_block<R: Read>(r: &mut R) -> io::Result<Segment> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if magic != SPILL_MAGIC {
+            return Err(bad_block("bad spill block magic"));
+        }
+        let snapshot_index = read_u64(r)?;
+        let row_start = read_u64(r)? as usize;
+        let n = read_u64(r)? as usize;
+        let snapshot = u32::try_from(snapshot_index)
+            .ok()
+            .and_then(SnapshotId::new)
+            .ok_or_else(|| bad_block("spill block snapshot out of range"))?;
+        let mut seg = Segment::new_open(snapshot, row_start);
+        seg.rows.end = row_start + n;
+        seg.publisher = read_u32s(r, n)?;
+        for col in [
+            &mut seg.device,
+            &mut seg.platform,
+            &mut seg.protocol,
+            &mut seg.region,
+            &mut seg.isp,
+            &mut seg.connection,
+            &mut seg.class,
+        ] {
+            let mut buf = vec![0u8; n];
+            r.read_exact(&mut buf)?;
+            *col = buf;
+        }
+        seg.owner = read_u32s(r, n)?;
+        seg.cdn_mask = read_scalars(r, n, u64::from_le_bytes)?;
+        seg.rungs = read_scalars(r, n, u16::from_le_bytes)?;
+        seg.player = read_u32s(r, n)?;
+        seg.hours = read_scalars(r, n, |b| f64::from_bits(u64::from_le_bytes(b)))?;
+        seg.weight = read_scalars(r, n, |b| f64::from_bits(u64::from_le_bytes(b)))?;
+        Ok(seg)
+    }
+}
+
+/// Magic + version prefix of one spilled segment block.
+const SPILL_MAGIC: [u8; 8] = *b"VMPSEG1\n";
+
+fn bad_block(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+fn write_u32s<W: Write>(w: &mut W, col: &[u32]) -> io::Result<u64> {
+    for &v in col {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(4 * col.len() as u64)
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn read_u32s<R: Read>(r: &mut R, n: usize) -> io::Result<Vec<u32>> {
+    read_scalars(r, n, u32::from_le_bytes)
+}
+
+fn read_scalars<R: Read, T, const W: usize>(
+    r: &mut R,
+    n: usize,
+    decode: impl Fn([u8; W]) -> T,
+) -> io::Result<Vec<T>> {
+    let mut out = Vec::with_capacity(n);
+    let mut buf = [0u8; W];
+    for _ in 0..n {
+        r.read_exact(&mut buf)?;
+        out.push(decode(buf));
+    }
+    Ok(out)
 }
 
 // ---------------------------------------------------------------------------
@@ -297,15 +414,22 @@ fn keep(mask: Option<&PublisherMask>, raw: u32) -> bool {
 
 /// Anything the kernel can scan: the full store, or a masked view over the
 /// same segments.
+///
+/// Scans no longer borrow segments directly: they walk [`SegmentMeta`]
+/// descriptors and load each segment through the store's
+/// [`SegmentStore`](crate::segstore::SegmentStore), which hands out
+/// `Arc<Segment>` guards — resident ones for hot segments, decoded-on-read
+/// ones for spilled segments.
 pub trait SegmentSource {
-    /// The backing store (row storage, segments, dictionaries).
+    /// The backing store (row storage, segment store, dictionaries).
     fn store(&self) -> &ViewStore;
 
     /// Row-level exclusion mask, if any.
     fn mask(&self) -> Option<&PublisherMask>;
 
-    /// Segments with at least one surviving row, ascending by snapshot.
-    fn live_segments(&self) -> Vec<&Segment>;
+    /// Descriptors of segments with at least one surviving row, ascending
+    /// by snapshot.
+    fn live_metas(&self) -> Vec<SegmentMeta>;
 }
 
 // ---------------------------------------------------------------------------
@@ -728,7 +852,7 @@ fn publisher_share_segment<V: Ord>(
 fn segment_at<S: SegmentSource + ?Sized>(
     source: &S,
     snapshot: SnapshotId,
-) -> Option<&Segment> {
+) -> Option<Arc<Segment>> {
     source.store().segment(snapshot)
 }
 
@@ -742,7 +866,7 @@ pub fn group_hours_by<S: SegmentSource + ?Sized, V: Ord>(
     let _span = vmp_obs::span("analytics.query.rollup");
     match segment_at(source, snapshot) {
         Some(seg) => {
-            let r = rollup_segment(seg, source.mask(), spec.column, Metric::Hours);
+            let r = rollup_segment(&seg, source.mask(), spec.column, Metric::Hours);
             note_rollup(r.rows_scanned());
             decoded_map(&r, spec, false)
         }
@@ -779,7 +903,7 @@ fn share<S: SegmentSource + ?Sized, V: Ord>(
     let _span = vmp_obs::span("analytics.query.rollup");
     match segment_at(source, snapshot) {
         Some(seg) => {
-            let r = rollup_segment(seg, source.mask(), spec.column, metric);
+            let r = rollup_segment(&seg, source.mask(), spec.column, metric);
             note_rollup(r.rows_scanned());
             decoded_map(&r, spec, true)
         }
@@ -799,7 +923,7 @@ pub fn publisher_share<S: SegmentSource + ?Sized, V: Ord>(
     match segment_at(source, snapshot) {
         Some(seg) => {
             note_rollup(seg.len() as u64);
-            publisher_share_segment(seg, source.mask(), spec, min_traffic_share)
+            publisher_share_segment(&seg, source.mask(), spec, min_traffic_share)
         }
         None => BTreeMap::new(),
     }
@@ -818,7 +942,7 @@ pub fn per_publisher_values<S: SegmentSource + ?Sized, V: Ord>(
         return BTreeMap::new();
     };
     note_rollup(seg.len() as u64);
-    per_publisher_segment(seg, source.mask(), spec.column)
+    per_publisher_segment(&seg, source.mask(), spec.column)
         .into_iter()
         .map(|(raw, agg)| {
             let values: BTreeSet<V> =
@@ -847,7 +971,7 @@ pub fn value_share<S: SegmentSource + ?Sized, V: Ord>(
         return Vec::new();
     };
     note_rollup(seg.len() as u64);
-    per_publisher_segment(seg, source.mask(), spec.column)
+    per_publisher_segment(&seg, source.mask(), spec.column)
         .values()
         .filter(|agg| agg.hours > 0.0 && agg.code_hours(code) > 0.0)
         .map(|agg| 100.0 * agg.code_hours(code) / agg.hours)
@@ -877,36 +1001,49 @@ pub fn top_hours_by<S: SegmentSource + ?Sized, V: Ord>(
 /// each segment is processed on exactly one thread and results are placed
 /// by index, so output (floating point included) is independent of thread
 /// scheduling.
-pub fn per_segment_map<'a, S, T, F>(source: &'a S, f: F) -> Vec<(SnapshotId, T)>
+///
+/// Each worker loads its segment through the store (a no-op clone for hot
+/// segments, a block decode for spilled ones) and releases it as soon as
+/// `f` returns, so concurrency — additionally capped by the store's
+/// [`parallel_load_hint`](ViewStore::parallel_load_hint) — bounds how many
+/// decoded segments are resident at once.
+pub fn per_segment_map<S, T, F>(source: &S, f: F) -> Vec<(SnapshotId, T)>
 where
     S: SegmentSource + ?Sized,
     T: Send,
-    F: Fn(&'a Segment) -> T + Sync,
+    F: Fn(&Segment) -> T + Sync,
 {
-    let segments = source.live_segments();
+    let metas = source.live_metas();
+    let store = source.store();
     let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    let threads = threads.min(segments.len());
+    let threads = threads.min(metas.len()).min(store.parallel_load_hint());
     if threads <= 1 {
-        return segments.into_iter().map(|seg| (seg.snapshot(), f(seg))).collect();
+        return metas
+            .iter()
+            .filter_map(|m| store.segment(m.snapshot).map(|seg| (m.snapshot, f(&seg))))
+            .collect();
     }
-    let mut slots: Vec<Option<T>> = Vec::with_capacity(segments.len());
-    slots.resize_with(segments.len(), || None);
-    let chunk = segments.len().div_ceil(threads);
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(metas.len());
+    slots.resize_with(metas.len(), || None);
+    let chunk = metas.len().div_ceil(threads);
     let f = &f;
-    let segments_ref = &segments;
+    let metas_ref = &metas;
     std::thread::scope(|scope| {
         for (ci, out) in slots.chunks_mut(chunk).enumerate() {
             scope.spawn(move || {
                 for (j, slot) in out.iter_mut().enumerate() {
-                    *slot = Some(f(segments_ref[ci * chunk + j]));
+                    let meta = &metas_ref[ci * chunk + j];
+                    if let Some(seg) = store.segment(meta.snapshot) {
+                        *slot = Some(f(&seg));
+                    }
                 }
             });
         }
     });
-    segments
-        .into_iter()
+    metas
+        .iter()
         .zip(slots)
-        .map(|(seg, slot)| (seg.snapshot(), slot.expect("worker filled its slot")))
+        .map(|(meta, slot)| (meta.snapshot, slot.expect("worker filled its slot")))
         .collect()
 }
 
@@ -933,7 +1070,7 @@ where
         }
         ShareMetric::Publishers { floor } => publisher_share_segment(seg, mask, spec, floor),
     });
-    let rows: u64 = source.live_segments().iter().map(|s| s.len() as u64).sum();
+    let rows: u64 = source.live_metas().iter().map(|m| m.len() as u64).sum();
     note_rollup(rows);
     out
 }

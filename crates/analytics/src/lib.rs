@@ -34,6 +34,7 @@ pub mod complexity;
 pub mod perpub;
 pub mod query;
 pub mod report;
+pub mod segstore;
 pub mod store;
 
 pub use columns::{DimColumn, DimSpec, PublisherMask, Segment, SegmentSource, ShareMetric};
@@ -41,4 +42,5 @@ pub use complexity::{complexity_fit, ComplexityMeasure, ComplexityPoint};
 pub use perpub::{count_histogram, counts_by_size_bucket, counts_per_publisher, CountsOverTime};
 pub use query::{publisher_share_by, vh_share_by, views_share_by};
 pub use report::{Series, Table};
-pub use store::{MaskedStore, ViewRef, ViewStore};
+pub use segstore::{SegmentMeta, SegmentStore, SpillConfig};
+pub use store::{IngestOptions, IngestPipeline, MaskedStore, ViewRef, ViewStore};

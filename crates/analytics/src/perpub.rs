@@ -41,7 +41,7 @@ pub fn counts_per_publisher<S: SegmentSource, V: Ord>(
 ) -> Vec<PublisherCount> {
     let _span = vmp_obs::span("analytics.query.per_publisher");
     match source.store().segment(snapshot) {
-        Some(seg) => per_publisher_segment(seg, source.mask(), spec.column)
+        Some(seg) => per_publisher_segment(&seg, source.mask(), spec.column)
             .into_iter()
             .map(|(raw, agg)| PublisherCount {
                 publisher: PublisherId::new(raw),

@@ -1,15 +1,21 @@
-//! Telemetry ingestion: row storage, columnar segment build, masked views.
+//! Telemetry ingestion: the incremental pipeline, row storage, masked views.
 //!
-//! Ingest sorts the batch by snapshot (stable, so within-snapshot order is
-//! generation order), classifies every manifest URL once, interns player
-//! identities into a store-wide dictionary, and builds one columnar
-//! [`Segment`] per snapshot. Aggregations run over the segments (see
-//! [`crate::columns`]); [`ViewRef`] iteration remains as the compatibility
-//! surface for row-at-a-time consumers and the reference queries in
-//! [`crate::query`].
+//! Ingest is a streaming pipeline ([`IngestPipeline`]): views arrive in
+//! snapshot-ascending order (the generator's shard-merged stream order, or
+//! a batch sorted by [`ViewStore::ingest`]), every manifest URL is
+//! classified once, player identities are interned into a store-wide
+//! dictionary, and one columnar [`Segment`] is built incrementally per
+//! snapshot. A segment seals the moment its snapshot completes and moves
+//! into the [`SegmentStore`] — resident at default scale, spilled to disk
+//! in out-of-core runs ([`IngestOptions::spill`]) — so ingest never holds
+//! more than one open segment's columns plus (optionally) the retained
+//! rows. Aggregations run over the segments (see [`crate::columns`]);
+//! [`ViewRef`] iteration remains as the compatibility surface for
+//! row-at-a-time consumers and the reference queries in [`crate::query`].
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 use vmp_core::ids::PublisherId;
 use vmp_core::protocol::StreamingProtocol;
@@ -17,6 +23,7 @@ use vmp_core::time::SnapshotId;
 use vmp_core::view::{PlayerIdentity, SampledView};
 
 use crate::columns::{PublisherMask, Segment, SegmentSource, NO_CODE};
+use crate::segstore::{SegmentMeta, SegmentStore, SpillConfig};
 
 /// A view with its ingest-time derived dimensions.
 #[derive(Debug, Clone, Copy)]
@@ -40,122 +47,269 @@ impl<'a> ViewRef<'a> {
     }
 }
 
-/// Whether the `miss_index`-th unclassifiable manifest of a batch (1-based)
-/// gets a logged event. Every 256th miss starting from the first — the
-/// sampling is a pure function of the batch-local miss count, so a given
-/// batch always logs the same rows no matter what was ingested before it.
+/// Whether the `miss_index`-th unclassifiable manifest of an ingest
+/// (1-based) gets a logged event. Every 256th miss starting from the first
+/// — the sampling is a pure function of the pipeline-local miss count, so a
+/// given input stream always logs the same rows no matter what was ingested
+/// before it.
 fn miss_sampled(miss_index: u64) -> bool {
     miss_index % 256 == 1
 }
 
-/// The telemetry store: append-only rows plus per-snapshot columnar
-/// segments built once at ingest.
+/// How an [`IngestPipeline`] stores what it ingests.
 #[derive(Debug, Default)]
-pub struct ViewStore {
+pub struct IngestOptions {
+    /// Drop the raw rows after their columns are built (out-of-core runs).
+    /// Row-level accessors ([`ViewStore::at`], [`ViewStore::all`]) become a
+    /// loud error; every columnar query is unaffected.
+    pub drop_rows: bool,
+    /// Spill sealed segments to disk instead of keeping them resident.
+    pub spill: Option<SpillConfig>,
+}
+
+/// Where the raw rows of a store live.
+#[derive(Debug)]
+enum RowState {
+    /// Rows (ingest order, snapshot-major) plus their derived protocol
+    /// codes, parallel to the segments' logical row ranges.
+    Retained { views: Vec<SampledView>, protocols: Vec<u8> },
+    /// Rows were dropped at ingest ([`IngestOptions::drop_rows`]); only the
+    /// count survives.
+    Dropped { count: usize },
+}
+
+/// The incremental ingest pipeline: feed snapshot-ascending view batches,
+/// get a [`ViewStore`] out. Peak memory is one open segment's columns (plus
+/// the retained rows unless [`IngestOptions::drop_rows`] is set) — the full
+/// dataset never has to exist in memory at once.
+#[derive(Debug)]
+pub struct IngestPipeline {
+    drop_rows: bool,
     views: Vec<SampledView>,
-    segments: Vec<Segment>,
+    protocols: Vec<u8>,
+    total_rows: usize,
+    segstore: SegmentStore,
+    open: Option<Segment>,
+    player_keys: Vec<String>,
+    player_dict: BTreeMap<String, u32>,
+    /// Fast path for SDK identities: avoids formatting the build string on
+    /// every row.
+    build_codes: BTreeMap<vmp_core::sdk::PlayerBuild, u32>,
+    misses: u64,
+    ingest_span: Option<vmp_obs::Span>,
+    columns_span: Option<vmp_obs::Span>,
+}
+
+impl IngestPipeline {
+    /// Opens a pipeline. The ingest/columns spans stay open until
+    /// [`finish`](Self::finish) so profiles attribute the whole streaming
+    /// ingest correctly.
+    pub fn new(options: IngestOptions) -> IngestPipeline {
+        let ingest_span = vmp_obs::span("analytics.ingest");
+        let columns_span = vmp_obs::span("analytics.columns.build");
+        IngestPipeline {
+            drop_rows: options.drop_rows,
+            views: Vec::new(),
+            protocols: Vec::new(),
+            total_rows: 0,
+            segstore: SegmentStore::new(options.spill),
+            open: None,
+            player_keys: Vec::new(),
+            player_dict: BTreeMap::new(),
+            build_codes: BTreeMap::new(),
+            misses: 0,
+            ingest_span: Some(ingest_span),
+            columns_span: Some(columns_span),
+        }
+    }
+
+    /// Rows ingested so far.
+    pub fn rows_ingested(&self) -> usize {
+        self.total_rows
+    }
+
+    /// Ingests one batch. Batches must arrive snapshot-ascending across the
+    /// pipeline's lifetime (within a batch too); a step backwards is a loud
+    /// error, because it would silently split a snapshot across segments.
+    pub fn push_batch(&mut self, views: Vec<SampledView>) {
+        vmp_obs::counter("analytics.rows_ingested").add(views.len() as u64);
+        for v in views {
+            self.push_one(v);
+        }
+    }
+
+    fn push_one(&mut self, v: SampledView) {
+        let snap = v.record.snapshot;
+        let need_new = match &self.open {
+            None => true,
+            Some(seg) if seg.snapshot() == snap => false,
+            Some(seg) => {
+                assert!(
+                    seg.snapshot() < snap,
+                    "ingest requires snapshot-ascending order (snapshot {} after {})",
+                    snap.index(),
+                    seg.snapshot().index()
+                );
+                true
+            }
+        };
+        if need_new {
+            self.seal_open();
+            self.open = Some(Segment::new_open(snap, self.total_rows));
+        }
+        let proto = vmp_manifest::classify(&v.record.manifest_url);
+        let code = proto.map_or(NO_CODE, StreamingProtocol::code);
+        if proto.is_none() {
+            self.misses += 1;
+            // Sampled: unclassifiable URLs are common by design (§5,
+            // Table 1 lists opaque manifest schemes).
+            if miss_sampled(self.misses) {
+                vmp_obs::event(
+                    vmp_obs::EventKind::ManifestParseError,
+                    format!("unclassifiable manifest url: {}", v.record.manifest_url),
+                );
+            }
+        }
+        let player_code = self.player_code(&v.record.player);
+        if let Some(seg) = &mut self.open {
+            seg.push_row(&v, code, player_code);
+        }
+        self.total_rows += 1;
+        if !self.drop_rows {
+            self.views.push(v);
+            self.protocols.push(code);
+        }
+    }
+
+    fn player_code(&mut self, player: &PlayerIdentity) -> u32 {
+        match player {
+            PlayerIdentity::Sdk(build) => match self.build_codes.get(build) {
+                Some(&c) => c,
+                None => {
+                    let mut key = String::new();
+                    let _ = write!(key, "{build}");
+                    let c = intern(&mut self.player_dict, &mut self.player_keys, key);
+                    self.build_codes.insert(*build, c);
+                    c
+                }
+            },
+            PlayerIdentity::UserAgent(ua) => {
+                let family = ua.split('/').next().unwrap_or(ua.as_str());
+                match self.player_dict.get(family) {
+                    Some(&c) => c,
+                    None => {
+                        intern(&mut self.player_dict, &mut self.player_keys, family.to_string())
+                    }
+                }
+            }
+        }
+    }
+
+    fn seal_open(&mut self) {
+        if let Some(seg) = self.open.take() {
+            self.segstore.push(seg);
+        }
+    }
+
+    /// Seals the last open segment and produces the store.
+    pub fn finish(mut self) -> ViewStore {
+        self.seal_open();
+        vmp_obs::counter("analytics.manifests_unclassified").add(self.misses);
+        vmp_obs::counter("analytics.segments_built").add(self.segstore.len() as u64);
+        drop(self.columns_span.take());
+        drop(self.ingest_span.take());
+        let rows = if self.drop_rows {
+            RowState::Dropped { count: self.total_rows }
+        } else {
+            RowState::Retained { views: self.views, protocols: self.protocols }
+        };
+        ViewStore {
+            rows,
+            total_rows: self.total_rows,
+            segstore: self.segstore,
+            player_keys: self.player_keys,
+        }
+    }
+}
+
+/// The telemetry store: per-snapshot columnar segments (resident or
+/// spilled) plus — unless dropped at ingest — the raw rows for
+/// compatibility iteration.
+#[derive(Debug)]
+pub struct ViewStore {
+    rows: RowState,
+    total_rows: usize,
+    segstore: SegmentStore,
     /// Player dictionary: code (index) → canonical player key (SDK build
     /// string or user-agent family).
     player_keys: Vec<String>,
 }
 
+impl Default for ViewStore {
+    fn default() -> ViewStore {
+        ViewStore::ingest(Vec::new())
+    }
+}
+
 impl ViewStore {
-    /// Ingests a batch of samples: sorts by snapshot, derives dimensions,
-    /// builds the columnar segments.
-    pub fn ingest(mut views: Vec<SampledView>) -> ViewStore {
-        let _span = vmp_obs::span("analytics.ingest");
-        vmp_obs::counter("analytics.rows_ingested").add(views.len() as u64);
-        views.sort_by_key(|v| v.record.snapshot);
-
-        let _columns_span = vmp_obs::span("analytics.columns.build");
-        let mut protocol_codes: Vec<u8> = Vec::with_capacity(views.len());
-        let mut player_codes: Vec<u32> = Vec::with_capacity(views.len());
-        let mut player_keys: Vec<String> = Vec::new();
-        let mut player_dict: BTreeMap<String, u32> = BTreeMap::new();
-        // Fast path for SDK identities: avoids formatting the build string
-        // on every row.
-        let mut build_codes: BTreeMap<vmp_core::sdk::PlayerBuild, u32> = BTreeMap::new();
-        let mut misses = 0u64;
-        for v in &views {
-            let proto = vmp_manifest::classify(&v.record.manifest_url);
-            protocol_codes.push(proto.map_or(NO_CODE, StreamingProtocol::code));
-            if proto.is_none() {
-                misses += 1;
-                // Sampled: unclassifiable URLs are common by design (§5,
-                // Table 1 lists opaque manifest schemes).
-                if miss_sampled(misses) {
-                    vmp_obs::event(
-                        vmp_obs::EventKind::ManifestParseError,
-                        format!("unclassifiable manifest url: {}", v.record.manifest_url),
-                    );
-                }
-            }
-            let code = match &v.record.player {
-                PlayerIdentity::Sdk(build) => match build_codes.get(build) {
-                    Some(&c) => c,
-                    None => {
-                        let mut key = String::new();
-                        let _ = write!(key, "{build}");
-                        let c = intern(&mut player_dict, &mut player_keys, key);
-                        build_codes.insert(*build, c);
-                        c
-                    }
-                },
-                PlayerIdentity::UserAgent(ua) => {
-                    let family = ua.split('/').next().unwrap_or(ua.as_str());
-                    match player_dict.get(family) {
-                        Some(&c) => c,
-                        None => intern(&mut player_dict, &mut player_keys, family.to_string()),
-                    }
-                }
-            };
-            player_codes.push(code);
-        }
-        vmp_obs::counter("analytics.manifests_unclassified").add(misses);
-
-        let mut segments = Vec::new();
-        let mut start = 0usize;
-        while start < views.len() {
-            let snap = views[start].record.snapshot;
-            let mut end = start + 1;
-            while end < views.len() && views[end].record.snapshot == snap {
-                end += 1;
-            }
-            segments.push(Segment::build(
-                snap,
-                start..end,
-                &views,
-                protocol_codes[start..end].to_vec(),
-                player_codes[start..end].to_vec(),
-            ));
-            start = end;
-        }
-        vmp_obs::counter("analytics.segments_built").add(segments.len() as u64);
-        ViewStore { views, segments, player_keys }
+    /// Ingests a batch of samples: sorts by snapshot (stable, so
+    /// within-snapshot order is generation order), then runs the streaming
+    /// pipeline over the sorted batch.
+    pub fn ingest(views: Vec<SampledView>) -> ViewStore {
+        ViewStore::ingest_with(views, IngestOptions::default())
     }
 
-    /// Number of stored samples.
+    /// [`ingest`](Self::ingest) with explicit storage options.
+    pub fn ingest_with(mut views: Vec<SampledView>, options: IngestOptions) -> ViewStore {
+        let mut pipeline = IngestPipeline::new(options);
+        views.sort_by_key(|v| v.record.snapshot);
+        pipeline.push_batch(views);
+        pipeline.finish()
+    }
+
+    /// Number of ingested samples (rows dropped at ingest still count).
     pub fn len(&self) -> usize {
-        self.views.len()
+        self.total_rows
     }
 
     /// Whether the store is empty.
     pub fn is_empty(&self) -> bool {
-        self.views.is_empty()
+        self.total_rows == 0
     }
 
-    /// The columnar segments, ascending by snapshot (only snapshots with
-    /// data have one).
-    pub fn segments(&self) -> &[Segment] {
-        &self.segments
+    /// Whether the raw rows were dropped at ingest.
+    pub fn rows_dropped(&self) -> bool {
+        matches!(self.rows, RowState::Dropped { .. })
     }
 
-    /// One snapshot's segment, if it has data.
-    pub fn segment(&self, snapshot: SnapshotId) -> Option<&Segment> {
-        self.segments
-            .binary_search_by_key(&snapshot, |s| s.snapshot())
-            .ok()
-            .map(|i| &self.segments[i])
+    /// Whether sealed segments live on disk.
+    pub fn spill_enabled(&self) -> bool {
+        self.segstore.spill_enabled()
+    }
+
+    /// Segment descriptors, ascending by snapshot (only snapshots with data
+    /// have one).
+    pub fn segment_metas(&self) -> &[SegmentMeta] {
+        self.segstore.metas()
+    }
+
+    /// One snapshot's segment, if it has data — a cheap clone when
+    /// resident/hot, a block decode when spilled.
+    pub fn segment(&self, snapshot: SnapshotId) -> Option<Arc<Segment>> {
+        self.segstore.get(snapshot)
+    }
+
+    /// Iterates every segment in ascending snapshot order, loading each
+    /// through the segment store as the iterator advances (so at most one
+    /// extra segment is decoded at a time in spill mode).
+    pub fn iter_segments(&self) -> impl Iterator<Item = Arc<Segment>> + '_ {
+        self.segstore.metas().iter().filter_map(|m| self.segstore.get(m.snapshot))
+    }
+
+    /// Upper bound on concurrently decoded segments for parallel scans (see
+    /// [`SegmentStore::parallel_load_hint`]).
+    pub fn parallel_load_hint(&self) -> usize {
+        self.segstore.parallel_load_hint()
     }
 
     /// The canonical key behind a player dictionary code.
@@ -170,22 +324,59 @@ impl ViewStore {
 
     /// Snapshots with data, ascending.
     pub fn snapshots(&self) -> Vec<SnapshotId> {
-        self.segments.iter().map(|s| s.snapshot()).collect()
+        self.segstore.metas().iter().map(|m| m.snapshot).collect()
     }
 
     /// The latest snapshot with data (the paper's "latest snapshot").
     pub fn latest_snapshot(&self) -> Option<SnapshotId> {
-        self.segments.last().map(|s| s.snapshot())
+        self.segstore.metas().last().map(|m| m.snapshot)
     }
 
-    /// Iterates one snapshot's views.
+    /// The retained rows and their protocol codes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the rows were dropped at ingest — row-level iteration on
+    /// an out-of-core store is a misuse that would otherwise silently yield
+    /// nothing.
+    fn row_slices(&self) -> (&[SampledView], &[u8]) {
+        match &self.rows {
+            RowState::Retained { views, protocols } => (views, protocols),
+            RowState::Dropped { count } => {
+                assert!(
+                    *count == 0,
+                    "row-level access on a store ingested with drop_rows (out-of-core \
+                     run); use the columnar queries instead"
+                );
+                (&[], &[])
+            }
+        }
+    }
+
+    /// Iterates one snapshot's views. Requires retained rows (see
+    /// [`row_slices`](Self::row_slices)).
     pub fn at(&self, snapshot: SnapshotId) -> impl Iterator<Item = ViewRef<'_>> + Clone {
-        self.segment(snapshot).into_iter().flat_map(|seg| seg.view_refs(&self.views))
+        let (views, protocols) = self.row_slices();
+        let range = self
+            .segstore
+            .metas()
+            .iter()
+            .find(|m| m.snapshot == snapshot)
+            .map(|m| m.rows.clone())
+            .unwrap_or(0..0);
+        views[range.clone()]
+            .iter()
+            .zip(&protocols[range])
+            .map(|(view, &code)| ViewRef { view, protocol: StreamingProtocol::from_code(code) })
     }
 
-    /// Iterates everything, snapshot-major.
+    /// Iterates everything, snapshot-major. Requires retained rows.
     pub fn all(&self) -> impl Iterator<Item = ViewRef<'_>> + Clone {
-        self.segments.iter().flat_map(|seg| seg.view_refs(&self.views))
+        let (views, protocols) = self.row_slices();
+        views
+            .iter()
+            .zip(protocols)
+            .map(|(view, &code)| ViewRef { view, protocol: StreamingProtocol::from_code(code) })
     }
 
     /// Total weighted view-hours at one snapshot.
@@ -221,8 +412,8 @@ impl SegmentSource for ViewStore {
         None
     }
 
-    fn live_segments(&self) -> Vec<&Segment> {
-        self.segments.iter().collect()
+    fn live_metas(&self) -> Vec<SegmentMeta> {
+        self.segstore.metas().to_vec()
     }
 }
 
@@ -240,8 +431,7 @@ pub struct MaskedStore<'a> {
 impl<'a> MaskedStore<'a> {
     fn new(store: &'a ViewStore, mask: PublisherMask) -> MaskedStore<'a> {
         let kept_per_segment: Vec<usize> = store
-            .segments()
-            .iter()
+            .iter_segments()
             .map(|seg| seg.publishers().iter().filter(|&&p| !mask.excludes(p)).count())
             .collect();
         let kept = kept_per_segment.iter().sum();
@@ -261,11 +451,11 @@ impl<'a> MaskedStore<'a> {
     /// Snapshots with surviving data, ascending.
     pub fn snapshots(&self) -> Vec<SnapshotId> {
         self.store
-            .segments()
+            .segment_metas()
             .iter()
             .zip(&self.kept_per_segment)
             .filter(|(_, &kept)| kept > 0)
-            .map(|(seg, _)| seg.snapshot())
+            .map(|(m, _)| m.snapshot)
             .collect()
     }
 
@@ -296,13 +486,13 @@ impl SegmentSource for MaskedStore<'_> {
         Some(&self.mask)
     }
 
-    fn live_segments(&self) -> Vec<&Segment> {
+    fn live_metas(&self) -> Vec<SegmentMeta> {
         self.store
-            .segments()
+            .segment_metas()
             .iter()
             .zip(&self.kept_per_segment)
             .filter(|(_, &kept)| kept > 0)
-            .map(|(seg, _)| seg)
+            .map(|(m, _)| m.clone())
             .collect()
     }
 }
@@ -419,7 +609,7 @@ pub(crate) mod tests {
         };
         assert_eq!(keys(&a), keys(&b));
         let codes = |s: &ViewStore| -> Vec<Vec<u32>> {
-            s.segments().iter().map(|seg| seg.players().to_vec()).collect()
+            s.iter_segments().map(|seg| seg.players().to_vec()).collect()
         };
         assert_eq!(codes(&a), codes(&b));
     }
@@ -482,5 +672,65 @@ pub(crate) mod tests {
         assert!(miss_sampled(257));
         assert!(!miss_sampled(258));
         assert!(miss_sampled(513));
+    }
+
+    /// The streaming pipeline fed batch-by-batch must produce the same
+    /// store a single sorted-batch ingest does.
+    #[test]
+    fn pipeline_batches_match_single_ingest() {
+        let all = vec![
+            test_view(0, 0, "https://h/p/a.m3u8", 1.0, 1.0),
+            test_view(0, 1, "https://h/p/b.mpd", 2.0, 1.5),
+            test_view(1, 0, "https://h/p/opaque", 0.5, 2.0),
+            test_view(2, 2, "https://h/p/c.m3u8", 3.0, 1.0),
+        ];
+        let whole = ViewStore::ingest(all.clone());
+        let mut pipeline = IngestPipeline::new(IngestOptions::default());
+        for chunk in all.chunks(1) {
+            pipeline.push_batch(chunk.to_vec());
+        }
+        let streamed = pipeline.finish();
+        assert_eq!(whole.len(), streamed.len());
+        assert_eq!(whole.snapshots(), streamed.snapshots());
+        for (a, b) in whole.iter_segments().zip(streamed.iter_segments()) {
+            assert_eq!(a.publishers(), b.publishers());
+            assert_eq!(a.protocols(), b.protocols());
+            assert_eq!(a.players(), b.players());
+            assert_eq!(a.rows(), b.rows());
+            assert_eq!(a.weights(), b.weights());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "snapshot-ascending")]
+    fn pipeline_rejects_backwards_snapshots() {
+        let mut pipeline = IngestPipeline::new(IngestOptions::default());
+        pipeline.push_batch(vec![test_view(2, 0, "https://h/p/a.m3u8", 1.0, 1.0)]);
+        pipeline.push_batch(vec![test_view(1, 0, "https://h/p/b.m3u8", 1.0, 1.0)]);
+    }
+
+    #[test]
+    fn dropped_rows_keep_columnar_queries_working() {
+        let store = ViewStore::ingest_with(
+            vec![
+                test_view(0, 0, "https://h/p/a.m3u8", 1.5, 2.0),
+                test_view(1, 1, "https://h/p/b.mpd", 0.5, 4.0),
+            ],
+            IngestOptions { drop_rows: true, spill: None },
+        );
+        assert_eq!(store.len(), 2);
+        assert!(store.rows_dropped());
+        assert!((store.total_hours_at(SnapshotId::FIRST) - 3.0).abs() < 1e-9);
+        assert_eq!(store.snapshots().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "drop_rows")]
+    fn row_access_after_drop_rows_is_loud() {
+        let store = ViewStore::ingest_with(
+            vec![test_view(0, 0, "https://h/p/a.m3u8", 1.0, 1.0)],
+            IngestOptions { drop_rows: true, spill: None },
+        );
+        let _ = store.all().count();
     }
 }

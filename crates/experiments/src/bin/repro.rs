@@ -2,12 +2,18 @@
 //!
 //! Usage:
 //! ```text
-//! repro [--quick] [--seed N] [--experiment ID] [--json PATH] [--metrics PATH]
-//!       [--trace PATH] [--report PATH] [--flame PATH] [--sample-ms N] [ID ...]
+//! repro [--quick] [--scale N] [--seed N] [--experiment ID] [--json PATH]
+//!       [--metrics PATH] [--trace PATH] [--report PATH] [--flame PATH]
+//!       [--sample-ms N] [ID ...]
 //! ```
 //! With no IDs (or the alias `all`), runs everything in paper order.
 //! `--quick` uses the reduced ecosystem (CI-sized); the default is the full
-//! EXPERIMENTS.md run. `--seed N` overrides the master seed;
+//! EXPERIMENTS.md run. `--scale N` multiplies the view volume (1 = the
+//! paper's default ≈1.2M samples); above 1 the run goes out-of-core —
+//! generation streams straight into ingest, raw rows are dropped after the
+//! columnar build, and sealed segments spill to a process-unique temp
+//! directory under an LRU hot cache, so RSS stays roughly flat while the
+//! row count grows 100×+. `--seed N` overrides the master seed;
 //! `--experiment ID` is equivalent to a bare ID; `--metrics PATH` dumps a
 //! JSON snapshot of the observability registry after the run; `--trace
 //! PATH` records every span, monitor window sample, and alert as Chrome
@@ -48,12 +54,14 @@ struct JsonSummary {
     schema: String,
     seed: u64,
     scale: String,
+    scale_factor: u64,
     experiments: Vec<ExperimentResult>,
     diagnostics: Diagnostics,
 }
 
 fn main() {
     let mut scale = Scale::Full;
+    let mut scale_factor: u64 = 1;
     let mut json_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
@@ -66,6 +74,15 @@ fn main() {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => scale = Scale::Quick,
+            "--scale" => {
+                scale_factor = match args.next().map(|s| s.parse::<u64>()) {
+                    Some(Ok(n)) if n > 0 => n,
+                    _ => {
+                        eprintln!("--scale requires a positive integer multiplier");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--ablations" => ids.extend(ABLATIONS.iter().map(|s| s.to_string())),
             "--experiment" => match args.next() {
                 Some(id) => push_id(&mut ids, &id),
@@ -129,9 +146,9 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: repro [--quick] [--seed N] [--experiment ID] [--ablations] \
-                     [--json PATH] [--metrics PATH] [--trace PATH] [--report PATH] \
-                     [--flame PATH] [--sample-ms N] [ID ...]"
+                    "usage: repro [--quick] [--scale N] [--seed N] [--experiment ID] \
+                     [--ablations] [--json PATH] [--metrics PATH] [--trace PATH] \
+                     [--report PATH] [--flame PATH] [--sample-ms N] [ID ...]"
                 );
                 eprintln!("experiments: all {}", ALL_EXPERIMENTS.join(" "));
                 eprintln!("ablations:   {}", ABLATIONS.join(" "));
@@ -188,11 +205,18 @@ fn main() {
     };
     let ctx = if needs_ctx {
         eprintln!(
-            "generating ecosystem ({scale_name}), running {} experiment(s)...",
+            "generating ecosystem ({scale_name}, x{scale_factor}), running {} experiment(s)...",
             ids.len()
         );
+        // Out-of-core runs spill sealed segments under a process-unique
+        // temp directory (removed when the store drops). The directory is
+        // chosen here — in the binary — so library code stays free of
+        // environment reads.
+        let spill_dir = (scale_factor > 1).then(|| {
+            std::env::temp_dir().join(format!("vmp-spill-{}", std::process::id()))
+        });
         let gen_span = vmp_obs::span("run.generate");
-        let ctx = ReproContext::with_seed(scale, seed);
+        let ctx = ReproContext::with_options(scale, seed, scale_factor, spill_dir);
         drop(gen_span);
         eprintln!(
             "ecosystem ready: {} publishers, {} weighted view samples, {} snapshots ({:.1}s)",
@@ -232,7 +256,16 @@ fn main() {
     };
     let report = report_path
         .is_some()
-        .then(|| RunReport::collect(master_seed, scale_name, &results, wall_time_secs, timeline.clone()));
+        .then(|| {
+            RunReport::collect(
+                master_seed,
+                scale_name,
+                scale_factor,
+                &results,
+                wall_time_secs,
+                timeline.clone(),
+            )
+        });
     let diagnostics = match &report {
         Some(r) => r.diagnostics.clone(),
         None => Diagnostics::collect(&results, timeline.dropped),
@@ -244,6 +277,7 @@ fn main() {
             schema: RUN_SCHEMA.to_string(),
             seed: master_seed,
             scale: scale_name.to_string(),
+            scale_factor,
             experiments: results.clone(),
             diagnostics: diagnostics.clone(),
         };

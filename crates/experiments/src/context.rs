@@ -1,8 +1,21 @@
 //! Shared experiment context: one generated ecosystem + ingested telemetry.
+//!
+//! Generation and ingest run as one streaming pipeline: the sharded
+//! [`ViewStream`] hands fixed-size view batches straight to the analytics
+//! [`IngestPipeline`], so the full view vector never exists in memory. At
+//! the default volume (`scale_factor == 1`) the rows are retained and every
+//! segment stays resident — byte-identical to the old materialize-then-sort
+//! ingest. At larger volumes (`repro --scale N`) the raw rows are dropped
+//! after their columns are built and sealed segments spill to disk, keeping
+//! RSS roughly flat in the scale factor.
 
-use vmp_analytics::store::{MaskedStore, ViewStore};
+use std::path::PathBuf;
+
+use vmp_analytics::segstore::SpillConfig;
+use vmp_analytics::store::{IngestOptions, IngestPipeline, MaskedStore, ViewStore};
 use vmp_core::ids::PublisherId;
 use vmp_synth::ecosystem::{Dataset, EcosystemConfig};
+use vmp_synth::stream::ViewStream;
 
 /// How big a run to generate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -15,16 +28,20 @@ pub enum Scale {
 
 /// The context shared by all ecosystem-driven experiments.
 pub struct ReproContext {
-    /// The generated ecosystem (views moved out into the store at ingest).
+    /// The generated ecosystem (views streamed into the store at ingest —
+    /// row accessors on the dataset fail loudly).
     pub dataset: Dataset,
     /// Ingested telemetry.
     pub store: ViewStore,
+    /// View-volume multiplier this context was generated with.
+    pub scale_factor: u64,
 }
 
 impl std::fmt::Debug for ReproContext {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ReproContext")
             .field("views", &self.store.len())
+            .field("scale_factor", &self.scale_factor)
             .finish_non_exhaustive()
     }
 }
@@ -39,6 +56,23 @@ impl ReproContext {
     /// (`repro --seed N`); `None` keeps the config default, so published
     /// EXPERIMENTS.md numbers stay reproducible.
     pub fn with_seed(scale: Scale, seed: Option<u64>) -> ReproContext {
+        ReproContext::with_options(scale, seed, 1, None)
+    }
+
+    /// Full control: view-volume multiplier (`repro --scale N`) and an
+    /// explicit spill directory. `scale_factor > 1` drops raw rows after
+    /// the columnar build (columnar queries are unaffected; row iteration
+    /// becomes a loud error); a spill directory additionally moves sealed
+    /// segments to disk under an LRU hot cache. Library code never picks
+    /// the directory itself — the binary does, so no `env` reads happen
+    /// outside `crates/obs`.
+    pub fn with_options(
+        scale: Scale,
+        seed: Option<u64>,
+        scale_factor: u64,
+        spill_dir: Option<PathBuf>,
+    ) -> ReproContext {
+        let scale_factor = scale_factor.max(1);
         let mut config = match scale {
             Scale::Full => EcosystemConfig {
                 snapshot_stride: 2,
@@ -49,11 +83,22 @@ impl ReproContext {
         if let Some(seed) = seed {
             config.seed = seed;
         }
-        let mut dataset = Dataset::generate(config);
-        // The store is the single owner of the rows — no duplicate copy of
-        // the whole batch lives on in the dataset.
-        let store = ViewStore::ingest(dataset.take_views());
-        ReproContext { dataset, store }
+        config.view_gen.volume_scale = scale_factor;
+        let options = IngestOptions {
+            drop_rows: scale_factor > 1,
+            spill: spill_dir.map(SpillConfig::new),
+        };
+        let mut stream = ViewStream::new(config);
+        let mut pipeline = IngestPipeline::new(options);
+        {
+            let _span = vmp_obs::span("pipeline.ingest");
+            while let Some(batch) = stream.next_batch() {
+                pipeline.push_batch(batch.views);
+            }
+        }
+        let store = pipeline.finish();
+        let dataset = stream.into_dataset();
+        ReproContext { dataset, store, scale_factor }
     }
 
     /// A zero-copy view of the store excluding the given publishers
@@ -97,5 +142,43 @@ mod tests {
         for v in filtered.all() {
             assert!(!excluded.contains(&v.view.record.publisher));
         }
+    }
+
+    /// The streaming context must see exactly the views a materialized
+    /// generation produces, in the same order.
+    #[test]
+    fn streamed_ingest_matches_materialized_ingest() {
+        let ctx = ReproContext::new(Scale::Quick);
+        let mut dataset = Dataset::generate(EcosystemConfig::small());
+        let reference = ViewStore::ingest(dataset.take_views());
+        assert_eq!(ctx.store.len(), reference.len());
+        assert_eq!(ctx.store.snapshots(), reference.snapshots());
+        for (a, b) in ctx.store.iter_segments().zip(reference.iter_segments()) {
+            assert_eq!(a.publishers(), b.publishers());
+            assert_eq!(a.protocols(), b.protocols());
+            assert_eq!(a.players(), b.players());
+            assert_eq!(a.cdn_masks(), b.cdn_masks());
+            assert_eq!(a.hours(), b.hours());
+            assert_eq!(a.weights(), b.weights());
+        }
+    }
+
+    /// Out-of-core mode: rows dropped, segments spilled, columnar results
+    /// identical to the resident run.
+    #[test]
+    fn spilled_context_matches_resident_context() {
+        let resident = ReproContext::new(Scale::Quick);
+        let dir = std::env::temp_dir()
+            .join(format!("vmp-spill-test-{}", std::process::id()));
+        let spilled = ReproContext::with_options(Scale::Quick, None, 1, Some(dir.clone()));
+        assert!(spilled.store.spill_enabled());
+        for (a, b) in resident.store.iter_segments().zip(spilled.store.iter_segments()) {
+            assert_eq!(a.publishers(), b.publishers());
+            assert_eq!(a.hours(), b.hours());
+            assert_eq!(a.weights(), b.weights());
+        }
+        drop(spilled);
+        // The spill directory is cleaned up when the store drops.
+        assert!(!dir.exists());
     }
 }

@@ -23,7 +23,7 @@ pub fn run(ctx: &ReproContext) -> ExperimentResult {
         // straight off the platform/hours/weight columns.
         let mut durations = Vec::new();
         let mut weights = Vec::new();
-        if let Some(seg) = seg {
+        if let Some(seg) = &seg {
             let code = platform.code();
             for (i, &p) in seg.platforms().iter().enumerate() {
                 if p == code {

@@ -35,7 +35,7 @@ fn within_platform_series(
     // Observed labels only, first-occurrence order then sorted — the same
     // line set and order the row scan produced.
     let mut labels: Vec<String> = Vec::new();
-    for seg in store.segments() {
+    for seg in store.iter_segments() {
         for &code in seg.devices() {
             if let Some(l) = &label_lut[code as usize] {
                 if !labels.contains(l) {
@@ -50,7 +50,7 @@ fn within_platform_series(
     });
 
     let mut lines: Vec<Vec<(String, f64)>> = vec![Vec::new(); labels.len()];
-    for seg in store.segments() {
+    for seg in store.iter_segments() {
         let mut total = 0.0f64;
         let mut with = vec![0.0f64; labels.len()];
         for (i, &code) in seg.devices().iter().enumerate() {

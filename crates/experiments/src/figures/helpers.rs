@@ -71,7 +71,7 @@ pub fn counts_figure<S: SegmentSource, V: Ord>(
     use vmp_analytics::report::Table;
 
     let last =
-        source.live_segments().last().map(|s| s.snapshot()).expect("store has data");
+        source.live_metas().last().map(|m| m.snapshot).expect("store has data");
     let counts = counts_per_publisher(source, last, spec, SUPPORT_FLOOR);
 
     let mut hist_table = Table::new(

@@ -101,6 +101,9 @@ pub struct RunReport {
     pub seed: u64,
     /// `full`, `quick`, or `standalone`.
     pub scale: String,
+    /// View-volume multiplier (`repro --scale N`; 1 = the paper's default
+    /// volume).
+    pub scale_factor: u64,
     /// Experiment IDs in run order.
     pub experiment_ids: Vec<String>,
     /// End-to-end wall-clock seconds (ecosystem generation through the
@@ -133,6 +136,7 @@ impl RunReport {
     pub fn collect(
         seed: u64,
         scale: &str,
+        scale_factor: u64,
         results: &[ExperimentResult],
         wall_time_secs: f64,
         timeline: Timeline,
@@ -145,6 +149,7 @@ impl RunReport {
             schema: REPORT_SCHEMA.to_string(),
             seed,
             scale: scale.to_string(),
+            scale_factor,
             experiment_ids: results.iter().map(|r| r.id.clone()).collect(),
             wall_time_secs,
             stage_seconds_total,
@@ -183,10 +188,11 @@ impl RunReport {
     pub fn to_markdown(&self) -> String {
         let mut md = String::new();
         md.push_str(&format!(
-            "# Run report ({})\n\nseed `{}` · scale `{}` · wall {:.2}s · peak RSS {}\n\n",
+            "# Run report ({})\n\nseed `{}` · scale `{}` (×{}) · wall {:.2}s · peak RSS {}\n\n",
             self.schema,
             self.seed,
             self.scale,
+            self.scale_factor,
             self.wall_time_secs,
             fmt_bytes(self.peak_rss_bytes),
         ));
@@ -308,6 +314,11 @@ pub fn validate_report(doc: &serde_json::Value) -> Vec<String> {
     need(&mut errors, "scale", doc.get("scale").and_then(|v| v.as_str()).is_some());
     need(
         &mut errors,
+        "scale_factor",
+        doc.get("scale_factor").and_then(|v| v.as_u64()).is_some_and(|s| s >= 1),
+    );
+    need(
+        &mut errors,
         "experiment_ids",
         doc.get("experiment_ids").and_then(|v| v.as_array()).is_some(),
     );
@@ -412,7 +423,7 @@ mod tests {
     fn report_serializes_validates_and_renders() {
         let results = demo_results();
         let report =
-            RunReport::collect(7, "quick", &results, 1.25, vmp_obs::Timeline::empty());
+            RunReport::collect(7, "quick", 1, &results, 1.25, vmp_obs::Timeline::empty());
         let json = report.to_json_pretty();
         let doc: serde_json::Value = serde_json::from_str(&json).expect("report JSON parses");
         let errors = validate_report(&doc);

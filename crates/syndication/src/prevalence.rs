@@ -49,7 +49,7 @@ pub fn syndication_reach(store: &ViewStore) -> SyndicationReach {
 
     // Column scan: the owner column carries `NO_OWNER` for owned views and
     // the owning publisher's raw id for syndicated ones.
-    for seg in store.segments() {
+    for seg in store.iter_segments() {
         let pubs = seg.publishers();
         let owner_col = seg.owners();
         for i in 0..seg.len() {

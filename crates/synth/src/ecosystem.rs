@@ -1,15 +1,13 @@
 //! The ecosystem orchestrator: population → planes → weighted view samples.
 
-use crossbeam::thread;
 use vmp_core::ids::PublisherId;
 use vmp_core::time::SnapshotId;
 use vmp_core::view::SampledView;
-use vmp_stats::Rng;
 
 use crate::publisher_gen::PublisherProfile;
+use crate::stream::ViewStream;
 use crate::syndigraph::SyndicationGraph;
-use crate::trends;
-use crate::views::{generate_views, ViewGenConfig};
+use crate::views::ViewGenConfig;
 
 /// Full configuration of one ecosystem generation run.
 #[derive(Debug, Clone)]
@@ -22,7 +20,7 @@ pub struct EcosystemConfig {
     pub view_gen: ViewGenConfig,
     /// Generate every `snapshot_stride`-th snapshot (1 = all 54).
     pub snapshot_stride: u32,
-    /// Worker threads for the snapshot fan-out.
+    /// Generator shards (worker threads) for the snapshot fan-out.
     pub threads: usize,
 }
 
@@ -49,11 +47,25 @@ impl EcosystemConfig {
                 max_samples: 400,
                 sim_media_cap: vmp_core::units::Seconds(12.0),
                 faults: None,
+                volume_scale: 1,
             },
             snapshot_stride: 6,
             threads: 4,
         }
     }
+}
+
+/// Where a dataset's sampled views live. Once they are handed to analytics
+/// by move ([`Dataset::take_views`] or the streaming pipeline), the state
+/// flips to [`ViewState::HandedOut`] and every row accessor fails loudly
+/// instead of silently yielding nothing.
+#[derive(Debug)]
+enum ViewState {
+    /// The views are resident in the dataset.
+    Present(Vec<SampledView>),
+    /// The views were moved out (ingested or streamed); row accessors are
+    /// an error.
+    HandedOut,
 }
 
 /// The generated dataset: the synthetic stand-in for the Conviva telemetry.
@@ -65,120 +77,38 @@ pub struct Dataset {
     pub profiles: Vec<PublisherProfile>,
     /// The syndication graph.
     pub graph: SyndicationGraph,
-    /// All weighted view samples across the generated snapshots.
-    pub views: Vec<SampledView>,
+    /// All weighted view samples across the generated snapshots — or the
+    /// explicit handed-out marker after [`take_views`](Self::take_views).
+    views: ViewState,
     /// Which snapshots were generated.
     pub snapshots: Vec<SnapshotId>,
 }
 
 impl Dataset {
-    /// Generates the full dataset.
+    /// Generates the full dataset by draining a [`ViewStream`] — the same
+    /// sharded generation the out-of-core pipeline uses, collected into a
+    /// resident vector for row-level consumers and tests.
     pub fn generate(config: EcosystemConfig) -> Dataset {
-        let _total = vmp_obs::span("synth.generate");
-        vmp_obs::counter("synth.datasets_generated").inc();
-        let master = Rng::seed_from(config.seed);
-
-        // Population.
-        let population_span = vmp_obs::span("synth.population");
-        let mut pop_rng = master.fork(1);
-        let mut profiles: Vec<PublisherProfile> = (0..config.publishers)
-            .map(|i| PublisherProfile::generate(PublisherId::new(i as u32), &mut pop_rng))
-            .collect();
-        vmp_obs::counter("synth.publishers_generated").add(profiles.len() as u64);
-
-        // The N largest publishers are the DASH drivers (§4.1) and the
-        // "3 largest" excluded in Fig 2(c)/6(b).
-        let mut order: Vec<usize> = (0..profiles.len()).collect();
-        order.sort_by(|a, b| profiles[*b].vh_day_final.total_cmp(&profiles[*a].vh_day_final));
-        for idx in order.iter().take(trends::DASH_FIRST_PUBLISHERS) {
-            profiles[*idx].set_dash_first();
+        let mut stream = ViewStream::new(config);
+        let mut views: Vec<SampledView> = Vec::new();
+        while let Some(batch) = stream.next_batch() {
+            views.extend(batch.views);
         }
-        // §4.3: every publisher above 10^5 X uses at least 4 CDNs and the
-        // weighted CDN average is ≈4.5 — the biggest publishers run the
-        // full major-CDN rotation.
-        for idx in order.iter().take(4) {
-            profiles[*idx].force_major_rotation();
-            profiles[*idx].force_all_platforms();
-        }
+        let mut dataset = stream.into_dataset();
+        dataset.views = ViewState::Present(views);
+        dataset
+    }
 
-        drop(population_span);
-
-        // Syndication graph.
-        let graph_span = vmp_obs::span("synth.syndication_graph");
-        let mut graph_rng = master.fork(2);
-        let graph = SyndicationGraph::generate(&profiles, &mut graph_rng);
-        drop(graph_span);
-
-        // Snapshots to generate.
-        let stride = config.snapshot_stride.max(1);
-        let mut snapshots: Vec<SnapshotId> =
-            SnapshotId::all().filter(|s| s.index() % stride == 0).collect();
-        if snapshots.last() != Some(&SnapshotId::LAST) {
-            snapshots.push(SnapshotId::LAST); // per-publisher analyses need it
-        }
-
-        // Fan out across snapshots; each worker gets an independent forked
-        // RNG, so the result is independent of scheduling.
-        let view_span = vmp_obs::span("synth.view_generation");
-        let threads = config.threads.max(1);
-        let mut per_snapshot: Vec<Vec<SampledView>> = Vec::with_capacity(snapshots.len());
-        {
-            let chunks: Vec<Vec<SnapshotId>> = snapshots
-                .chunks(snapshots.len().div_ceil(threads))
-                .map(|c| c.to_vec())
-                .collect();
-            let results: Vec<Vec<(SnapshotId, Vec<SampledView>)>> = thread::scope(|scope| {
-                let mut handles = Vec::new();
-                for chunk in &chunks {
-                    let profiles = &profiles;
-                    let graph = &graph;
-                    let master = &master;
-                    let view_gen = &config.view_gen;
-                    handles.push(scope.spawn(move |_| {
-                        let mut out = Vec::new();
-                        for snapshot in chunk {
-                            let _snap_span = vmp_obs::span("synth.snapshot");
-                            let mut views = Vec::new();
-                            for (pi, profile) in profiles.iter().enumerate() {
-                                let mut rng = master
-                                    .fork(1000 + snapshot.index() as u64)
-                                    .fork(pi as u64);
-                                let plane = profile.plane(*snapshot);
-                                let session_base =
-                                    snapshot.index().wrapping_mul(1_000_000) + (pi as u32) * 1_000;
-                                views.extend(generate_views(
-                                    profile,
-                                    &plane,
-                                    graph,
-                                    view_gen,
-                                    *snapshot,
-                                    session_base,
-                                    &mut rng,
-                                ));
-                            }
-                            out.push((*snapshot, views));
-                        }
-                        out
-                    }));
-                }
-                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-            })
-            .expect("scope");
-
-            let mut collected: Vec<(SnapshotId, Vec<SampledView>)> =
-                results.into_iter().flatten().collect();
-            collected.sort_by_key(|(s, _)| *s);
-            for (_, v) in collected {
-                per_snapshot.push(v);
-            }
-        }
-
-        drop(view_span);
-
-        let views: Vec<SampledView> = per_snapshot.into_iter().flatten().collect();
-        vmp_obs::counter("synth.views_sampled").add(views.len() as u64);
-        vmp_obs::counter("synth.snapshots_generated").add(snapshots.len() as u64);
-        Dataset { config, profiles, graph, views, snapshots }
+    /// Assembles a dataset whose views were delivered elsewhere (the
+    /// streaming pipeline): profiles, graph and snapshot list are resident,
+    /// row accessors fail loudly.
+    pub(crate) fn without_views(
+        config: EcosystemConfig,
+        profiles: Vec<PublisherProfile>,
+        graph: SyndicationGraph,
+        snapshots: Vec<SnapshotId>,
+    ) -> Dataset {
+        Dataset { config, profiles, graph, views: ViewState::HandedOut, snapshots }
     }
 
     /// The three largest publishers by final view-hours (the Fig 2(c)/6(b)
@@ -194,17 +124,52 @@ impl Dataset {
         self.profiles.get(id.index())
     }
 
-    /// Moves the sampled views out — for handing to analytics ingest by
-    /// move instead of cloning the whole batch. Profiles, graph and
-    /// snapshot list stay behind; [`views_at`](Self::views_at) yields
-    /// nothing afterwards.
-    pub fn take_views(&mut self) -> Vec<SampledView> {
-        std::mem::take(&mut self.views)
+    /// Whether the views were moved out (ingested or streamed).
+    pub fn views_taken(&self) -> bool {
+        matches!(self.views, ViewState::HandedOut)
     }
 
-    /// Views belonging to one snapshot.
+    /// The resident sampled views.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the views were already handed to analytics
+    /// ([`take_views`](Self::take_views) or the streaming pipeline) —
+    /// misuse that used to silently yield nothing.
+    pub fn views(&self) -> &[SampledView] {
+        assert!(
+            !self.views_taken(),
+            "dataset views were already handed to analytics (take_views or the streaming \
+             pipeline); query the ViewStore instead of the dataset"
+        );
+        match &self.views {
+            ViewState::Present(views) => views,
+            ViewState::HandedOut => &[],
+        }
+    }
+
+    /// Moves the sampled views out — for handing to analytics ingest by
+    /// move instead of cloning the whole batch. Profiles, graph and
+    /// snapshot list stay behind; the dataset enters the handed-out state
+    /// and any later row access ([`views`](Self::views),
+    /// [`views_at`](Self::views_at), or a second `take_views`) panics with
+    /// a clear message instead of silently yielding nothing.
+    pub fn take_views(&mut self) -> Vec<SampledView> {
+        assert!(
+            !self.views_taken(),
+            "dataset views were already handed to analytics; take_views may only be called \
+             once"
+        );
+        match std::mem::replace(&mut self.views, ViewState::HandedOut) {
+            ViewState::Present(views) => views,
+            ViewState::HandedOut => Vec::new(),
+        }
+    }
+
+    /// Views belonging to one snapshot. Panics after the views were handed
+    /// out (see [`views`](Self::views)).
     pub fn views_at(&self, snapshot: SnapshotId) -> impl Iterator<Item = &SampledView> {
-        self.views.iter().filter(move |v| v.record.snapshot == snapshot)
+        self.views().iter().filter(move |v| v.record.snapshot == snapshot)
     }
 }
 
@@ -216,9 +181,9 @@ mod tests {
     fn small_dataset_generates_and_is_deterministic() {
         let a = Dataset::generate(EcosystemConfig::small());
         let b = Dataset::generate(EcosystemConfig::small());
-        assert_eq!(a.views.len(), b.views.len());
-        assert!(!a.views.is_empty());
-        for (x, y) in a.views.iter().take(500).zip(b.views.iter().take(500)) {
+        assert_eq!(a.views().len(), b.views().len());
+        assert!(!a.views().is_empty());
+        for (x, y) in a.views().iter().take(500).zip(b.views().iter().take(500)) {
             assert_eq!(x.record, y.record);
             assert_eq!(x.weight, y.weight);
         }
@@ -232,8 +197,8 @@ mod tests {
         c8.threads = 8;
         let a = Dataset::generate(c1);
         let b = Dataset::generate(c8);
-        assert_eq!(a.views.len(), b.views.len());
-        for (x, y) in a.views.iter().zip(&b.views) {
+        assert_eq!(a.views().len(), b.views().len());
+        for (x, y) in a.views().iter().zip(b.views()) {
             assert_eq!(x.record, y.record);
         }
     }
@@ -249,7 +214,7 @@ mod tests {
     fn every_publisher_contributes_views() {
         let d = Dataset::generate(EcosystemConfig::small());
         let mut seen = vec![false; d.profiles.len()];
-        for v in &d.views {
+        for v in d.views() {
             seen[v.record.publisher.index()] = true;
         }
         assert!(seen.iter().all(|s| *s));
@@ -261,5 +226,32 @@ mod tests {
         for id in d.largest_publishers(crate::trends::DASH_FIRST_PUBLISHERS) {
             assert!(d.profile(id).unwrap().dash_first);
         }
+    }
+
+    #[test]
+    fn take_views_flips_to_handed_out() {
+        let mut d = Dataset::generate(EcosystemConfig::small());
+        assert!(!d.views_taken());
+        let views = d.take_views();
+        assert!(!views.is_empty());
+        assert!(d.views_taken());
+    }
+
+    /// The old footgun: `views_at` after `take_views` silently yielded
+    /// nothing. It is now a loud error.
+    #[test]
+    #[should_panic(expected = "already handed to analytics")]
+    fn views_at_after_take_views_is_loud() {
+        let mut d = Dataset::generate(EcosystemConfig::small());
+        let _views = d.take_views();
+        let _ = d.views_at(SnapshotId::LAST).count();
+    }
+
+    #[test]
+    #[should_panic(expected = "may only be called once")]
+    fn double_take_views_is_loud() {
+        let mut d = Dataset::generate(EcosystemConfig::small());
+        let _first = d.take_views();
+        let _second = d.take_views();
     }
 }

@@ -28,6 +28,7 @@
 
 pub mod ecosystem;
 pub mod live;
+pub mod stream;
 pub mod publisher_gen;
 pub mod syndigraph;
 pub mod trends;

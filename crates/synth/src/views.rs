@@ -46,6 +46,11 @@ pub struct ViewGenConfig {
     /// [`RetryPolicy::resilient`]; `None` reproduces the fault-free
     /// generation byte for byte.
     pub faults: Option<FaultProfile>,
+    /// View-volume multiplier (`repro --scale N`). Applied to the per-cell
+    /// sample count *after* the min/max clamp, so `1` reproduces the
+    /// default generation byte for byte; the Horvitz–Thompson weights
+    /// shrink in proportion, keeping weighted aggregates on target.
+    pub volume_scale: u64,
 }
 
 impl Default for ViewGenConfig {
@@ -55,6 +60,7 @@ impl Default for ViewGenConfig {
             max_samples: 700,
             sim_media_cap: Seconds(36.0),
             faults: None,
+            volume_scale: 1,
         }
     }
 }
@@ -74,7 +80,7 @@ pub fn generate_views(
     // Two-day window target view-hours.
     let target_vh = plane.vh_day * 2.0;
     let n = ((plane.vh_day / trends::X_VIEW_HOURS).powf(0.45) * 30.0) as usize;
-    let n = n.clamp(cfg.min_samples, cfg.max_samples);
+    let n = n.clamp(cfg.min_samples, cfg.max_samples) * cfg.volume_scale.max(1) as usize;
 
     let platform_dist = Discrete::new_or_unit(&plane.platform_weights);
     let title_dist =
@@ -380,6 +386,7 @@ mod tests {
             max_samples: 60,
             sim_media_cap: Seconds(12.0),
             faults: None,
+            volume_scale: 1,
         }
     }
 

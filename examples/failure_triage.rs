@@ -46,7 +46,7 @@ fn main() {
 /// combination count the engineer would otherwise search by hand.
 fn search_space() {
     let dataset = Dataset::generate(EcosystemConfig::small());
-    let store = ViewStore::ingest(dataset.views.clone());
+    let store = ViewStore::ingest(dataset.views().to_vec());
     let last = store.latest_snapshot().expect("dataset has views");
 
     let points = complexity_points(&store, last, ComplexityMeasure::Combinations, &|_| 1);

@@ -59,7 +59,7 @@ fn telemetry_protocol_inference_matches_generation_intent() {
     config.publishers = 40;
     config.snapshot_stride = 18;
     let dataset = Dataset::generate(config);
-    let store = ViewStore::ingest(dataset.views.clone());
+    let store = ViewStore::ingest(dataset.views().to_vec());
     let mut checked = 0;
     for v in store.all() {
         let protocol = v.protocol.expect("generated URLs always classify");
