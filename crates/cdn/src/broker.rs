@@ -219,6 +219,13 @@ impl Broker {
                 vmp_obs::EventKind::CircuitOpen,
                 format!("{cdn:?} quarantined at t={:.0}s until t={:.0}s", now.0, breaker.open_until().0),
             );
+            vmp_obs::session_trace::emit(
+                vmp_obs::session_trace::TraceEventKind::BreakerOpen,
+                now.0,
+                cdn.dense_index() as u8,
+                0,
+                breaker.open_until().0 - now.0,
+            );
         }
     }
 

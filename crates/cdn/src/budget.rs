@@ -105,6 +105,13 @@ impl RetryBudget {
         } else {
             *self.denied.lock() += 1;
             self.obs_exhausted.inc();
+            vmp_obs::session_trace::emit(
+                vmp_obs::session_trace::TraceEventKind::RetryDenied,
+                now.0,
+                cdn.dense_index() as u8,
+                0,
+                0.0,
+            );
             false
         }
     }

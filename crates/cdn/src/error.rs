@@ -62,6 +62,20 @@ impl FetchError {
         }
     }
 
+    /// Compact error class for session-trace events (`code` field of a
+    /// `chunk_error` / `fatal` record); [`label`](Self::label) is the
+    /// human-readable form of the same enumeration.
+    pub fn trace_code(&self) -> u32 {
+        match self {
+            FetchError::RegionOutOfRange { .. } => 0,
+            FetchError::Outage { .. } => 1,
+            FetchError::OriginUnavailable { .. } => 2,
+            FetchError::Timeout { .. } => 3,
+            FetchError::ManifestUnavailable { .. } => 4,
+            FetchError::Shed { .. } => 5,
+        }
+    }
+
     /// The CDN the failure is attributed to, when there is one.
     pub fn cdn(&self) -> Option<CdnName> {
         match self {

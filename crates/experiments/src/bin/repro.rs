@@ -4,7 +4,7 @@
 //! ```text
 //! repro [--quick] [--scale N] [--seed N] [--experiment ID] [--json PATH]
 //!       [--metrics PATH] [--trace PATH] [--report PATH] [--flame PATH]
-//!       [--sample-ms N] [ID ...]
+//!       [--session-trace PATH] [--sample-ms N] [ID ...]
 //! ```
 //! With no IDs (or the alias `all`), runs everything in paper order.
 //! `--quick` uses the reduced ecosystem (CI-sized); the default is the full
@@ -31,6 +31,13 @@
 //!   (`path;to;span COUNT` lines, inferno/flamegraph.pl compatible). Arms
 //!   the span profiler.
 //! - `--sample-ms N` sets the resource-sampler interval (default 50 ms).
+//! - `--session-trace PATH` arms the per-session wide-event tracer and
+//!   writes the kept traces as `vmp-session-trace/1` JSONL: one header
+//!   line, one line per kept session (head-sampled ~1/16 of normal
+//!   sessions plus *every* anomalous one, under a deterministic byte
+//!   budget), and one line per alert with its exemplar trace ids. The
+//!   kept set is a pure function of the master seed — two runs at the
+//!   same seed produce byte-identical files.
 //!
 //! When every requested ID is standalone (ablations and scenarios such as
 //! `resilience` or `monitor`), the ecosystem is not generated at all.
@@ -67,6 +74,7 @@ fn main() {
     let mut trace_path: Option<String> = None;
     let mut report_path: Option<String> = None;
     let mut flame_path: Option<String> = None;
+    let mut session_trace_path: Option<String> = None;
     let mut sample_ms: u64 = 50;
     let mut seed: Option<u64> = None;
     let mut ids: Vec<String> = Vec::new();
@@ -126,6 +134,13 @@ fn main() {
                     std::process::exit(2);
                 }
             }
+            "--session-trace" => {
+                session_trace_path = args.next();
+                if session_trace_path.is_none() {
+                    eprintln!("--session-trace requires a path");
+                    std::process::exit(2);
+                }
+            }
             "--sample-ms" => {
                 sample_ms = match args.next().map(|s| s.parse::<u64>()) {
                     Some(Ok(n)) if n > 0 => n,
@@ -148,7 +163,8 @@ fn main() {
                 eprintln!(
                     "usage: repro [--quick] [--scale N] [--seed N] [--experiment ID] \
                      [--ablations] [--json PATH] [--metrics PATH] [--trace PATH] \
-                     [--report PATH] [--flame PATH] [--sample-ms N] [ID ...]"
+                     [--report PATH] [--flame PATH] [--session-trace PATH] \
+                     [--sample-ms N] [ID ...]"
                 );
                 eprintln!("experiments: all {}", ALL_EXPERIMENTS.join(" "));
                 eprintln!("ablations:   {}", ABLATIONS.join(" "));
@@ -195,6 +211,15 @@ fn main() {
     let needs_ctx = ids.iter().any(|id| !is_standalone(id));
     let master_seed =
         seed.unwrap_or_else(|| vmp_synth::ecosystem::EcosystemConfig::default().seed);
+    // Session tracing keys its head sampler and reservoir off the master
+    // seed, so it must be armed after the seed is resolved but before any
+    // session plays (ecosystem generation included).
+    if session_trace_path.is_some() {
+        vmp_obs::session_trace::arm(vmp_obs::TraceConfig {
+            seed: master_seed,
+            ..vmp_obs::TraceConfig::default()
+        });
+    }
     let scale_name = if !needs_ctx {
         "standalone"
     } else {
@@ -272,6 +297,29 @@ fn main() {
     };
 
     let export_span = vmp_obs::span("run.export");
+    // Session-trace finalize comes first: it records the `trace.*`
+    // counters, which the `--metrics` snapshot below must include.
+    if let Some(path) = session_trace_path {
+        match vmp_obs::session_trace::finalize() {
+            Some(report) => {
+                if let Err(e) = std::fs::write(&path, report.to_jsonl()) {
+                    eprintln!("cannot write --session-trace output to {path}: {e}");
+                    std::process::exit(2);
+                }
+                eprintln!(
+                    "wrote {path} ({} traces kept of {} sessions, {} tail-kept, \
+                     {} dropped, {} bytes)",
+                    report.kept(),
+                    report.seen,
+                    report.tail_kept,
+                    report.dropped,
+                    report.bytes
+                );
+            }
+            None => eprintln!("warning: session tracing was never armed; {path} not written"),
+        }
+    }
+
     if let Some(path) = json_path {
         let summary = JsonSummary {
             schema: RUN_SCHEMA.to_string(),

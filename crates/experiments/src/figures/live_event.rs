@@ -48,6 +48,13 @@ const REGIONS: usize = 3;
 /// Publishers the population is spread over.
 const PUBLISHERS: u64 = 4;
 
+/// Session-trace id namespace for this scenario (disjoint from the synth
+/// pipeline's telemetry ids and the monitor scenario's namespace).
+const TRACE_ID_BASE: u64 = 9_100_000_000;
+
+/// Id stride between arms, so the replay arm doesn't alias the original.
+const ARM_STRIDE: u64 = 100_000;
+
 /// Kickoff: the join-storm peak on the virtual clock. The channel itself
 /// streams from t=0, so pre-kickoff trickle viewers give the monitor a
 /// healthy baseline.
@@ -182,7 +189,15 @@ fn brownout() -> FaultProfile {
 
 /// Plays the full event population under the surge-protection stack and
 /// grades the monitor's alert stream against `profile` (None = control).
-fn run_arm(stp: &Setup, seed: u64, label: &'static str, profile: Option<&FaultProfile>) -> ArmReport {
+fn run_arm(
+    stp: &Setup,
+    seed: u64,
+    arm: u64,
+    label: &'static str,
+    profile: Option<&FaultProfile>,
+) -> ArmReport {
+    // Fresh exemplar epoch per arm (see figures/monitor::run_population).
+    vmp_session::hooks::trace_epoch();
     let injector = profile.map(|p| FaultInjector::new(p.clone()));
     let broker = Broker::new(BrokerPolicy::Weighted);
     let routers: BTreeMap<CdnName, Router> = stp
@@ -250,7 +265,17 @@ fn run_arm(stp: &Setup, seed: u64, label: &'static str, profile: Option<&FaultPr
             retry_budget: Some(&budget),
             infrastructure: &mut infra,
         };
+        // Scenario-private session-trace id namespace with a per-arm
+        // stride (see figures/monitor).
+        let trace = vmp_session::hooks::trace_begin(
+            TRACE_ID_BASE + arm * ARM_STRIDE + i as u64,
+            Some(i as u64 % PUBLISHERS),
+            None,
+            Some(region),
+            *start,
+        );
         let out = player.play_multi_cdn(&mut ctx, &mut rng);
+        vmp_session::hooks::trace_finish(trace, &out);
         ends.push(SessionEnd::new(out).in_region(region).for_publisher(i as u64 % PUBLISHERS));
     }
 
@@ -358,9 +383,9 @@ pub fn run(seed: u64) -> ExperimentResult {
     };
 
     let profile = brownout();
-    let control = run_arm(&stp, seed, "control (storm, no faults)", None);
-    let fault = run_arm(&stp, seed, "brownout(A) mid-event", Some(&profile));
-    let replay = run_arm(&stp, seed, "brownout(A) replay", Some(&profile));
+    let control = run_arm(&stp, seed, 0, "control (storm, no faults)", None);
+    let fault = run_arm(&stp, seed, 1, "brownout(A) mid-event", Some(&profile));
+    let replay = run_arm(&stp, seed, 2, "brownout(A) replay", Some(&profile));
 
     let mut table = Table::new(
         "Surge scorecard: 1200 viewers, 100x join storm at kickoff, failover off",

@@ -39,6 +39,13 @@ const REGIONS: usize = 3;
 /// Publishers the population is spread over (materializes publisher cells).
 const PUBLISHERS: u64 = 8;
 
+/// Session-trace id namespace for this scenario (keeps ids disjoint from
+/// the synth pipeline's and the other scenarios' in a full traced run).
+const TRACE_ID_BASE: u64 = 9_000_000_000;
+
+/// Id stride between arms, so replayed arms don't alias the originals.
+const ARM_STRIDE: u64 = 100_000;
+
 /// Delay applied to every preset so completions build a clean detector
 /// baseline before the first incident lands (sessions are ~4 min long, so
 /// the first ten minutes of completions are guaranteed fault-free).
@@ -88,7 +95,15 @@ fn strategy() -> CdnStrategy {
 /// Plays the staggered population under `profile` (already shifted) with
 /// failover off, streaming every completion into `sink` in fault-clock
 /// order — the order a central collector would ingest them.
-fn run_population(seed: u64, profile: Option<&FaultProfile>, sink: &mut dyn CompletionSink) {
+fn run_population(
+    seed: u64,
+    arm: u64,
+    profile: Option<&FaultProfile>,
+    sink: &mut dyn CompletionSink,
+) {
+    // Each arm replays the same fault-clock range; a fresh exemplar epoch
+    // keeps this arm's alerts from citing a previous arm's look-alikes.
+    vmp_session::hooks::trace_epoch();
     let injector = profile.map(|p| FaultInjector::new(p.clone()));
     let horizon = profile.map(|p| p.horizon()).unwrap_or(Seconds(2100.0));
     let strategy = strategy();
@@ -117,6 +132,7 @@ fn run_population(seed: u64, profile: Option<&FaultProfile>, sink: &mut dyn Comp
         if profile.is_some() {
             config.retry = RetryPolicy::resilient();
         }
+        let start_offset = config.start_offset;
         let mut player = Player::new(config, network, &abr).expect("valid config");
         let mut infra = infrastructure_fn(&routers, &mut edges, region, injector.as_ref());
         let mut ctx = MultiCdnContext {
@@ -129,7 +145,19 @@ fn run_population(seed: u64, profile: Option<&FaultProfile>, sink: &mut dyn Comp
             retry_budget: None,
             infrastructure: &mut infra,
         };
+        // Session-trace ids live in a scenario-private namespace so a full
+        // `repro --session-trace` run cannot collide them with the synth
+        // pipeline's telemetry session ids, and each arm gets its own
+        // sub-range so replayed arms don't alias the originals.
+        let trace = vmp_session::hooks::trace_begin(
+            TRACE_ID_BASE + arm * ARM_STRIDE + i as u64,
+            Some(i as u64 % PUBLISHERS),
+            None,
+            Some(region),
+            start_offset,
+        );
         let out = player.play_multi_cdn(&mut ctx, &mut rng);
+        vmp_session::hooks::trace_finish(trace, &out);
         ends.push(SessionEnd::new(out).in_region(region).for_publisher(i as u64 % PUBLISHERS));
     }
 
@@ -152,9 +180,9 @@ fn run_population(seed: u64, profile: Option<&FaultProfile>, sink: &mut dyn Comp
 }
 
 /// Runs one faulted arm end to end and grades the alert stream.
-fn run_arm(seed: u64, label: &'static str, profile: &FaultProfile) -> ArmReport {
+fn run_arm(seed: u64, arm: u64, label: &'static str, profile: &FaultProfile) -> ArmReport {
     let mut monitor = HealthMonitor::with_defaults();
-    run_population(seed, Some(profile), &mut monitor);
+    run_population(seed, arm, Some(profile), &mut monitor);
     monitor.finish();
 
     let score = score_alerts(monitor.alerts(), profile, SLACK);
@@ -178,6 +206,33 @@ fn run_arm(seed: u64, label: &'static str, profile: &FaultProfile) -> ArmReport 
     }
 }
 
+/// The three preset fault plans the scenario grades, with the CDN each
+/// one injures.
+pub fn presets() -> [(&'static str, CdnName, FaultProfile); 3] {
+    [
+        ("cdn_brownout(A)", CdnName::A, FaultProfile::cdn_brownout(CdnName::A)),
+        ("regional_outage(B)", CdnName::B, FaultProfile::regional_outage(CdnName::B)),
+        ("flaky_origin(C)", CdnName::C, FaultProfile::flaky_origin(CdnName::C)),
+    ]
+}
+
+/// Plays one preset arm (index into [`presets`]) and returns the alerts it
+/// raised. When session tracing is armed the alerts carry exemplar trace
+/// ids in the `TRACE_ID_BASE + preset * ARM_STRIDE` namespace; the
+/// trace-exemplar integration test drives this directly.
+pub fn preset_alerts(seed: u64, preset: usize) -> Vec<vmp_monitor::Alert> {
+    let (_, _, profile) = &presets()[preset];
+    let mut monitor = HealthMonitor::with_defaults();
+    run_population(seed, preset as u64, Some(&profile.shifted(BASELINE_SHIFT)), &mut monitor);
+    monitor.finish();
+    monitor.alerts().to_vec()
+}
+
+/// Start of the session-trace id range [`preset_alerts`] uses for a preset.
+pub fn preset_trace_base(preset: usize) -> u64 {
+    TRACE_ID_BASE + preset as u64 * ARM_STRIDE
+}
+
 /// The region-scoped plan: a hard outage of CDN B confined to region 1,
 /// which the culprit ranking must pin to the (B, 1) pair cell.
 fn scoped_profile() -> FaultProfile {
@@ -196,22 +251,22 @@ pub fn run(seed: u64) -> ExperimentResult {
         "Scenario: streaming health plane graded against fault-injection ground truth",
     );
 
-    let presets: [(&'static str, CdnName, FaultProfile); 3] = [
-        ("cdn_brownout(A)", CdnName::A, FaultProfile::cdn_brownout(CdnName::A)),
-        ("regional_outage(B)", CdnName::B, FaultProfile::regional_outage(CdnName::B)),
-        ("flaky_origin(C)", CdnName::C, FaultProfile::flaky_origin(CdnName::C)),
-    ];
+    let presets = presets();
 
     let mut arms: Vec<(CdnName, ArmReport)> = Vec::new();
-    for (label, target, profile) in &presets {
-        arms.push((*target, run_arm(seed, label, &profile.shifted(BASELINE_SHIFT))));
+    for (arm, (label, target, profile)) in presets.iter().enumerate() {
+        arms.push((
+            *target,
+            run_arm(seed, arm as u64, label, &profile.shifted(BASELINE_SHIFT)),
+        ));
     }
-    let scoped = run_arm(seed, "outage(B) in region 1", &scoped_profile());
-    let replay = run_arm(seed, "cdn_brownout(A) replay", &presets[0].2.shifted(BASELINE_SHIFT));
+    let scoped = run_arm(seed, 3, "outage(B) in region 1", &scoped_profile());
+    let replay =
+        run_arm(seed, 4, "cdn_brownout(A) replay", &presets[0].2.shifted(BASELINE_SHIFT));
 
     // Fault-free control: the identical population with no injector.
     let mut control = HealthMonitor::with_defaults();
-    run_population(seed, None, &mut control);
+    run_population(seed, 5, None, &mut control);
     control.finish();
     let control_alerts = control.alerts().len();
 

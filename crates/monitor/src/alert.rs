@@ -132,6 +132,9 @@ impl Severity {
     }
 }
 
+/// Most exemplar trace ids attached to one alert.
+pub const MAX_EXEMPLARS: usize = 5;
+
 /// One raised anomaly: a cell, a metric, and the evidence.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Alert {
@@ -151,6 +154,12 @@ pub struct Alert {
     pub z: f64,
     /// Views supporting the window.
     pub views: u64,
+    /// Session ids of up to [`MAX_EXEMPLARS`] kept wide-event traces from
+    /// this cell in the alert window (anomalous first). Empty unless the
+    /// run armed `--session-trace`; deliberately excluded from `Display`
+    /// so alert renderings (and the scenario fingerprints built on them)
+    /// are identical with tracing on or off.
+    pub exemplars: Vec<u64>,
 }
 
 impl Alert {
@@ -193,6 +202,7 @@ mod tests {
             observed: 0.31,
             z: 9.0,
             views: 18,
+            exemplars: vec![],
         };
         let text = alert.to_string();
         assert!(text.contains("cdn=C region=2"), "{text}");

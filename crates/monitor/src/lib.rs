@@ -293,6 +293,7 @@ impl HealthMonitor {
                         observed: value,
                         z,
                         views: stats.totals.views,
+                        exemplars: Vec::new(),
                     }),
                     Verdict::Healthy | Verdict::Quiet => {}
                 }
@@ -314,14 +315,19 @@ impl HealthMonitor {
         }
         for (i, slot) in self.pairs.iter_mut().enumerate() {
             if let Some(state) = slot.as_deref_mut() {
-                let name = CdnName::from_dense_index(i / cfg.max_regions)
-                    .expect("pair index derives from a dense cdn index");
+                // The pairs vec is indexed by dense-cdn × region, so the
+                // inverse lookup can only miss if that sizing broke; skip
+                // the slot rather than panic mid-evaluation.
+                let Some(name) = CdnName::from_dense_index(i / cfg.max_regions) else {
+                    continue;
+                };
                 eval(Cell::CdnRegion(name, i % cfg.max_regions), state);
             }
         }
 
-        for alert in raised {
+        for mut alert in raised {
             self.metric_alerts.inc();
+            attach_exemplars(&mut alert);
             vmp_obs::event(vmp_obs::EventKind::Alert, alert.to_string());
             if tracing {
                 vmp_obs::trace_instant(
@@ -333,6 +339,35 @@ impl HealthMonitor {
             self.alerts.push(alert);
         }
     }
+}
+
+/// Attaches up to [`alert::MAX_EXEMPLARS`] kept session-trace ids from the
+/// alert's culprit cell and window, and records the alert into the trace
+/// capture so `vmp-trace exemplars` can resolve it offline. No-op (and the
+/// alert's rendering is unchanged) unless `--session-trace` armed the
+/// collector.
+fn attach_exemplars(alert: &mut Alert) {
+    if !vmp_obs::session_tracing_enabled() {
+        return;
+    }
+    let query = vmp_obs::ExemplarQuery {
+        publisher: match alert.cell {
+            Cell::Publisher(p) => Some(p),
+            _ => None,
+        },
+        cdn: alert.cell.cdn().map(|c| c.dense_index() as u8),
+        region: alert.cell.region().map(|r| r as u8),
+        window: Some((alert.window.0 .0, alert.window.1 .0)),
+        limit: alert::MAX_EXEMPLARS,
+    };
+    let rendered = alert.to_string();
+    let ids = vmp_obs::session_trace::with_collector(|c| {
+        let ids = c.exemplars(&query);
+        c.note_alert(rendered, ids.clone());
+        ids
+    })
+    .unwrap_or_default();
+    alert.exemplars = ids;
 }
 
 /// Emits one virtual-timeline counter sample per CDN cell per tick.

@@ -114,6 +114,7 @@ mod tests {
             observed,
             z,
             views: 20,
+            exemplars: vec![],
         }
     }
 

@@ -136,6 +136,7 @@ mod tests {
             observed: 0.5,
             z: 10.0,
             views: 25,
+            exemplars: vec![],
         }
     }
 

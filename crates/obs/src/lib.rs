@@ -32,6 +32,7 @@ mod export;
 mod metrics;
 pub mod profile;
 pub mod sampler;
+pub mod session_trace;
 mod span;
 pub mod trace;
 
@@ -44,6 +45,10 @@ pub use profile::{
 };
 pub use sampler::{
     rss_bytes, sample_now, HistogramPoint, ResourceSampler, Timeline, TimelineRing, TimelineSample,
+};
+pub use session_trace::{
+    session_tracing_enabled, ExemplarQuery, SessionEvent, SessionTrace, TraceCollector,
+    TraceConfig, TraceEventKind, TraceReport,
 };
 pub use span::{current_path, span, span_in, Span, SpanHandle, Stopwatch};
 pub use trace::{

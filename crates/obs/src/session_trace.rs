@@ -1,0 +1,1211 @@
+//! Per-session wide-event tracing with deterministic tail sampling.
+//!
+//! The metrics plane answers "how many sessions went bad"; this module
+//! answers "*which* sessions, and why". Every played session is traced
+//! speculatively into a reused per-thread arena buffer as a sequence of
+//! compact causal events on the fault clock (chunk fetches, ABR switches,
+//! rebuffers, retries, shed/coalesce outcomes, breaker trips, exit cause).
+//! At completion a seeded head-sampler keeps ~1/N of normal sessions while
+//! a tail policy keeps *all* anomalous ones (fatal exit, rebuffer ratio
+//! over threshold, retry-budget denial, admission shed), bounded by a
+//! byte-budgeted reservoir with drop counters.
+//!
+//! ## Determinism
+//!
+//! The kept set must be byte-identical across runs at the same seed even
+//! though sharded generation completes sessions in arbitrary thread
+//! interleavings. Both sampling decisions are therefore pure functions of
+//! the trace itself, never of arrival order:
+//!
+//! - **head keep**: `mix64(seed, session_id) % head_rate == 0`;
+//! - **reservoir**: the kept set is defined as the *budget prefix* of all
+//!   candidates sorted by `(normal-after-anomalous, mix64(seed, id), id)`
+//!   — walk the sorted candidates accumulating bytes and cut at the first
+//!   overflow. The prefix is maintained online: a new candidate sorting at
+//!   or after the lowest key ever evicted is rejected outright (prefix
+//!   sums only grow, so the overflow it would sit behind still overflows),
+//!   otherwise it is inserted in key order and the suffix past the first
+//!   overflow is evicted. Once evicted a session can never re-enter, so
+//!   any arrival order converges on the same kept set.
+//!
+//! Anomalous sessions sort before all normal ones, so the tail policy
+//! ("anomalous sessions are never dropped while budget remains") falls out
+//! of the prefix rule rather than needing a second mechanism.
+//!
+//! The hot path is cheap when tracing is off: [`emit`] is one relaxed
+//! atomic load and a branch, and the speculative buffer is only touched
+//! between [`begin`] and [`SessionScope::finish`].
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use serde_json::Value;
+
+/// Sentinel for "no CDN attached to this event / trace".
+pub const NO_CDN: u8 = u8::MAX;
+/// Sentinel for "region unknown".
+pub const NO_REGION: u8 = u8::MAX;
+/// Sentinel for "publisher unknown".
+pub const NO_PUBLISHER: u64 = u64::MAX;
+
+/// JSONL schema tag written on the header line.
+pub const TRACE_SCHEMA: &str = "vmp-session-trace/1";
+
+/// Causal event kinds recorded into a session trace.
+///
+/// Kept to a closed `u8` enum so the speculative hot path never formats
+/// strings; names only materialize at JSONL export.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum TraceEventKind {
+    /// Manifest fetch retried (`code` = attempt).
+    ManifestRetry = 0,
+    /// Media chunk fetched (`code` = bitrate kbps, `value` = download secs).
+    ChunkFetch = 1,
+    /// Chunk fetch failed (`code` = error class).
+    ChunkError = 2,
+    /// ABR ladder switch (`code` = new bitrate kbps).
+    AbrSwitch = 3,
+    /// Playback stalled (`value` = stall seconds).
+    Rebuffer = 4,
+    /// Chunk fetch retried after a fault (`code` = attempt).
+    Retry = 5,
+    /// Retry backoff wait (`code` = attempt, `value` = wait secs).
+    Backoff = 6,
+    /// Armed timeout abandoned a fetch (`value` = timeout secs).
+    Timeout = 7,
+    /// Session failed over to another CDN (`cdn` = rescuer).
+    CdnSwitch = 8,
+    /// Retry denied by an exhausted per-CDN retry budget.
+    RetryDenied = 9,
+    /// Request denied by edge admission control.
+    Shed = 10,
+    /// Origin fetch coalesced onto an in-flight shield leader.
+    Coalesce = 11,
+    /// Circuit breaker opened on this CDN.
+    BreakerOpen = 12,
+    /// Fatal exit (`code` = error class of the killing fault).
+    Fatal = 13,
+}
+
+/// All kinds, indexable by discriminant.
+const KIND_NAMES: [&str; 14] = [
+    "manifest_retry",
+    "chunk_fetch",
+    "chunk_error",
+    "abr_switch",
+    "rebuffer",
+    "retry",
+    "backoff",
+    "timeout",
+    "cdn_switch",
+    "retry_denied",
+    "shed",
+    "coalesce",
+    "breaker_open",
+    "fatal",
+];
+
+impl TraceEventKind {
+    /// Stable wire name used in the JSONL schema.
+    pub fn name(self) -> &'static str {
+        KIND_NAMES[self as usize]
+    }
+
+    /// Inverse of [`name`](Self::name).
+    pub fn from_name(name: &str) -> Option<TraceEventKind> {
+        use TraceEventKind::*;
+        const ALL: [TraceEventKind; 14] = [
+            ManifestRetry,
+            ChunkFetch,
+            ChunkError,
+            AbrSwitch,
+            Rebuffer,
+            Retry,
+            Backoff,
+            Timeout,
+            CdnSwitch,
+            RetryDenied,
+            Shed,
+            Coalesce,
+            BreakerOpen,
+            Fatal,
+        ];
+        ALL.iter().copied().find(|k| k.name() == name)
+    }
+}
+
+/// One compact causal event on the session's fault clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionEvent {
+    /// What happened.
+    pub kind: TraceEventKind,
+    /// Fault-clock seconds at the event.
+    pub clock: f64,
+    /// Dense CDN index involved, or [`NO_CDN`].
+    pub cdn: u8,
+    /// Kind-specific small integer (attempt, bitrate kbps, error class).
+    pub code: u32,
+    /// Kind-specific magnitude (seconds, factors).
+    pub value: f64,
+}
+
+/// Anomaly flag: fatal exit.
+pub const ANOMALY_FATAL: u8 = 1;
+/// Anomaly flag: rebuffer ratio over the configured threshold.
+pub const ANOMALY_REBUFFER: u8 = 2;
+/// Anomaly flag: at least one retry-budget denial.
+pub const ANOMALY_RETRY_DENIED: u8 = 4;
+/// Anomaly flag: at least one admission-control shed.
+pub const ANOMALY_SHED: u8 = 8;
+
+const ANOMALY_NAMES: [(u8, &str); 4] = [
+    (ANOMALY_FATAL, "fatal"),
+    (ANOMALY_REBUFFER, "rebuffer"),
+    (ANOMALY_RETRY_DENIED, "retry_denied"),
+    (ANOMALY_SHED, "shed"),
+];
+
+/// One kept session's wide-event record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionTrace {
+    /// Session id (harness-assigned, unique within a run).
+    pub session: u64,
+    /// Serving publisher id, or [`NO_PUBLISHER`].
+    pub publisher: u64,
+    /// Primary CDN dense index, or [`NO_CDN`].
+    pub cdn: u8,
+    /// Edge region index, or [`NO_REGION`].
+    pub region: u8,
+    /// Fault-clock seconds the session started.
+    pub start_clock: f64,
+    /// Fault-clock seconds the session ended.
+    pub end_clock: f64,
+    /// Whether the session exited fatally.
+    pub fatal: bool,
+    /// Stall seconds over watch seconds, as reported by the harness.
+    pub rebuffer_ratio: f64,
+    /// Bitmask of `ANOMALY_*` flags (0 = normal session).
+    pub anomaly: u8,
+    /// Ordered causal events.
+    pub events: Vec<SessionEvent>,
+}
+
+impl SessionTrace {
+    /// Approximate resident bytes, used for reservoir accounting.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<SessionTrace>()
+            + self.events.len() * std::mem::size_of::<SessionEvent>()
+    }
+
+    /// Whether any event carries the given kind.
+    pub fn has_event(&self, kind: TraceEventKind) -> bool {
+        self.events.iter().any(|e| e.kind == kind)
+    }
+
+    /// Renders this trace as one compact JSONL line (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(128 + self.events.len() * 48);
+        self.write_line(&mut out);
+        out
+    }
+
+    /// Streams the JSONL line into `out` without building an intermediate
+    /// `Value` tree — a full capture renders tens of thousands of traces,
+    /// and tree building dominated export wall-clock. Byte-for-byte
+    /// identical to rendering the equivalent `Value::Object`.
+    pub fn write_line(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        out.push_str("{\"session\":");
+        let _ = write!(out, "{}", self.session);
+        if self.publisher != NO_PUBLISHER {
+            let _ = write!(out, ",\"publisher\":{}", self.publisher);
+        }
+        if self.cdn != NO_CDN {
+            let _ = write!(out, ",\"cdn\":{}", self.cdn);
+        }
+        if self.region != NO_REGION {
+            let _ = write!(out, ",\"region\":{}", self.region);
+        }
+        out.push_str(",\"start\":");
+        push_f64(out, self.start_clock);
+        out.push_str(",\"end\":");
+        push_f64(out, self.end_clock);
+        out.push_str(",\"exit\":\"");
+        out.push_str(if self.fatal { "fatal" } else { "completed" });
+        out.push_str("\",\"rebuffer_ratio\":");
+        push_f64(out, self.rebuffer_ratio);
+        out.push_str(",\"anomaly\":[");
+        let mut first = true;
+        for (bit, name) in ANOMALY_NAMES {
+            if self.anomaly & bit != 0 {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push('"');
+                out.push_str(name);
+                out.push('"');
+            }
+        }
+        out.push_str("],\"events\":[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("[\"");
+            out.push_str(e.kind.name());
+            out.push_str("\",");
+            push_f64(out, e.clock);
+            if e.cdn == NO_CDN {
+                out.push_str(",null,");
+            } else {
+                let _ = write!(out, ",{},", e.cdn);
+            }
+            let _ = write!(out, "{},", e.code);
+            push_f64(out, e.value);
+            out.push(']');
+        }
+        out.push_str("]}");
+    }
+
+    /// Parses a trace line produced by [`to_jsonl`](Self::to_jsonl).
+    pub fn from_json(v: &Value) -> Result<SessionTrace, String> {
+        let session =
+            v.get("session").and_then(Value::as_u64).ok_or("missing `session`")?;
+        let publisher = v.get("publisher").and_then(Value::as_u64).unwrap_or(NO_PUBLISHER);
+        let cdn = v.get("cdn").and_then(Value::as_u64).map_or(NO_CDN, |c| c as u8);
+        let region = v.get("region").and_then(Value::as_u64).map_or(NO_REGION, |r| r as u8);
+        let start_clock = v.get("start").and_then(Value::as_f64).ok_or("missing `start`")?;
+        let end_clock = v.get("end").and_then(Value::as_f64).ok_or("missing `end`")?;
+        let fatal = match v.get("exit").and_then(Value::as_str) {
+            Some("fatal") => true,
+            Some("completed") => false,
+            other => return Err(format!("bad `exit`: {other:?}")),
+        };
+        let rebuffer_ratio =
+            v.get("rebuffer_ratio").and_then(Value::as_f64).ok_or("missing `rebuffer_ratio`")?;
+        let mut anomaly = 0u8;
+        for a in v.get("anomaly").and_then(Value::as_array).ok_or("missing `anomaly`")? {
+            let name = a.as_str().ok_or("non-string anomaly")?;
+            let bit = ANOMALY_NAMES
+                .iter()
+                .find(|(_, n)| *n == name)
+                .map(|(b, _)| *b)
+                .ok_or_else(|| format!("unknown anomaly `{name}`"))?;
+            anomaly |= bit;
+        }
+        let mut events = Vec::new();
+        for e in v.get("events").and_then(Value::as_array).ok_or("missing `events`")? {
+            let parts = e.as_array().ok_or("non-array event")?;
+            let [kind_v, clock_v, cdn_v, code_v, value_v] = parts else {
+                return Err(format!("event arity {} != 5", parts.len()));
+            };
+            let kind_name = kind_v.as_str().ok_or("non-string event kind")?;
+            let kind = TraceEventKind::from_name(kind_name)
+                .ok_or_else(|| format!("unknown event kind `{kind_name}`"))?;
+            let clock = clock_v.as_f64().ok_or("non-numeric event clock")?;
+            let cdn = match cdn_v {
+                Value::Null => NO_CDN,
+                other => other.as_u64().ok_or("bad event cdn")? as u8,
+            };
+            let code = code_v.as_u64().ok_or("bad event code")? as u32;
+            let value = value_v.as_f64().ok_or("bad event value")?;
+            events.push(SessionEvent { kind, clock, cdn, code, value });
+        }
+        Ok(SessionTrace {
+            session,
+            publisher,
+            cdn,
+            region,
+            start_clock,
+            end_clock,
+            fatal,
+            rebuffer_ratio,
+            anomaly,
+            events,
+        })
+    }
+}
+
+/// Appends a float at microsecond (6-decimal) fixed precision via integer
+/// rendering — an order of magnitude faster than shortest-representation
+/// `Display`, which dominated capture export wall-clock. Clocks are
+/// fault-clock seconds and ratios are dimensionless, so 1e-6 resolution is
+/// beyond any physical meaning in either. Whole values render with a
+/// trailing `.0` (matching the JSON shim), fractional ones with trailing
+/// zeros trimmed; re-parsing and re-rendering a line is byte-stable.
+/// Non-finite or huge values (which the fault clock never produces)
+/// degrade to `null` / `Display`.
+fn push_f64(out: &mut String, n: f64) {
+    use std::fmt::Write as _;
+    if !n.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    if n.abs() >= 4.0e9 {
+        // Out of fixed-point range; exact rendering keeps the line valid.
+        if n.fract() == 0.0 && n.abs() < 1e15 {
+            let _ = write!(out, "{n:.1}");
+        } else {
+            let _ = write!(out, "{n}");
+        }
+        return;
+    }
+    if n.is_sign_negative() {
+        out.push('-');
+    }
+    let micros = (n.abs() * 1e6).round() as u64;
+    let _ = write!(out, "{}", micros / 1_000_000);
+    let frac = micros % 1_000_000;
+    if frac == 0 {
+        out.push_str(".0");
+        return;
+    }
+    let mut digits = [0u8; 6];
+    let mut rest = frac;
+    let mut last_nonzero = 0;
+    for i in (0..6).rev() {
+        digits[i] = b'0' + (rest % 10) as u8;
+        if digits[i] != b'0' && last_nonzero == 0 {
+            last_nonzero = i + 1;
+        }
+        rest /= 10;
+    }
+    out.push('.');
+    for &d in digits.iter().take(last_nonzero.max(1)) {
+        out.push(d as char);
+    }
+}
+
+fn render(v: &Value) -> String {
+    // The shim's renderer only fails on non-finite floats, which the fault
+    // clock never produces; fall back to an explicit error object so the
+    // JSONL stays parseable even then.
+    serde_json::to_string(v).unwrap_or_else(|_| "{\"error\":\"non-finite\"}".to_string())
+}
+
+/// Sampling and budget knobs, fixed for the lifetime of one armed run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceConfig {
+    /// Seed feeding the head-sampler and reservoir ordering.
+    pub seed: u64,
+    /// Keep ~1 in `head_rate` normal sessions (0 ⇒ keep none by head).
+    pub head_rate: u64,
+    /// Rebuffer ratio at or above which a session counts as anomalous.
+    pub rebuffer_threshold: f64,
+    /// Reservoir byte budget across all kept traces.
+    pub byte_budget: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> TraceConfig {
+        TraceConfig {
+            seed: 0,
+            head_rate: 16,
+            rebuffer_threshold: 0.1,
+            // 4 MiB keeps ~10-25k full traces at default scale — plenty of
+            // exemplar depth — while bounding resident memory and export
+            // cost on the run's critical path.
+            byte_budget: 4 << 20,
+        }
+    }
+}
+
+/// splitmix64 finalizer — decorrelates session ids from keep decisions.
+fn mix64(seed: u64, session: u64) -> u64 {
+    let mut z = seed ^ session.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Seed salt separating the reservoir shuffle from the head-keep hash.
+const KEY_SALT: u64 = 0xA11E_57A7;
+
+/// Reservoir ordering key: anomalous first, then seeded shuffle, then id.
+type Key = (u8, u64, u64);
+
+fn reservoir_key(seed: u64, session: u64, anomaly: u8) -> Key {
+    (u8::from(anomaly == 0), mix64(seed ^ KEY_SALT, session), session)
+}
+
+/// Completion metadata handed to the collector alongside the event buffer.
+#[derive(Debug, Clone, Copy)]
+struct FinishMeta {
+    session: u64,
+    publisher: u64,
+    cdn: u8,
+    region: u8,
+    start_clock: f64,
+    end_clock: f64,
+    fatal: bool,
+    rebuffer_ratio: f64,
+}
+
+/// Deterministic tail-sampling reservoir over completed session traces.
+///
+/// Standalone (no global state) so property tests can drive it directly;
+/// the armed global instance lives behind [`arm`] / [`finalize`].
+#[derive(Debug)]
+pub struct TraceCollector {
+    cfg: TraceConfig,
+    /// Kept candidates in reservoir-key order; always a non-overflowing
+    /// budget prefix. Each entry remembers the epoch it was offered in.
+    /// A `BTreeMap` keeps candidate insertion and suffix eviction
+    /// `O(log n)` — anomalous sessions always sort below the cut, so the
+    /// hot path inserts on every anomalous candidate of a large run.
+    kept: BTreeMap<Key, (u64, SessionTrace)>,
+    kept_bytes: usize,
+    /// Lowest key ever evicted or rejected; arrivals at or after it can
+    /// never belong to the final budget prefix.
+    cut: Option<Key>,
+    /// Whether this collector is the armed global instance and should
+    /// mirror `cut` into the lock-free `FAST_CUT_*` atomics. Standalone
+    /// collectors (tests, tooling) must not touch global state.
+    publish_cut: bool,
+    seen: u64,
+    dropped: u64,
+    /// Current epoch; see [`next_epoch`](Self::next_epoch).
+    epoch: u64,
+    alerts: Vec<(String, Vec<u64>)>,
+}
+
+impl TraceCollector {
+    /// An empty collector with the given knobs.
+    pub fn new(cfg: TraceConfig) -> TraceCollector {
+        TraceCollector {
+            cfg,
+            kept: BTreeMap::new(),
+            kept_bytes: 0,
+            cut: None,
+            publish_cut: false,
+            seen: 0,
+            dropped: 0,
+            epoch: 0,
+            alerts: Vec::new(),
+        }
+    }
+
+    /// Starts a new epoch and returns it. A harness that replays several
+    /// populations over the *same* fault-clock range (scenario arms,
+    /// replays, controls) bumps the epoch between populations; exemplar
+    /// queries then only match traces of the current epoch, so an alert
+    /// can never cite a look-alike session from a previous arm. Sampling
+    /// and the kept set are epoch-blind — this only scopes exemplars.
+    pub fn next_epoch(&mut self) -> u64 {
+        self.epoch += 1;
+        self.epoch
+    }
+
+    /// The knobs this collector was armed with.
+    pub fn config(&self) -> &TraceConfig {
+        &self.cfg
+    }
+
+    /// Sessions offered so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Sessions not in the current kept set (sampled out or evicted).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Bytes resident in the kept set.
+    pub fn kept_bytes(&self) -> usize {
+        self.kept_bytes
+    }
+
+    /// Anomaly bitmask for a completed session given this config.
+    fn anomaly_of(&self, meta: &FinishMeta, events: &[SessionEvent]) -> u8 {
+        let mut a = 0u8;
+        if meta.fatal {
+            a |= ANOMALY_FATAL;
+        }
+        if meta.rebuffer_ratio >= self.cfg.rebuffer_threshold {
+            a |= ANOMALY_REBUFFER;
+        }
+        for e in events {
+            match e.kind {
+                TraceEventKind::RetryDenied => a |= ANOMALY_RETRY_DENIED,
+                TraceEventKind::Shed => a |= ANOMALY_SHED,
+                _ => {}
+            }
+        }
+        a
+    }
+
+    /// Offers a completed session; copies the event buffer only if the
+    /// session is a sampling candidate that can still enter the reservoir.
+    fn offer_buffer(&mut self, meta: FinishMeta, events: &[SessionEvent]) {
+        self.seen += 1;
+        let anomaly = self.anomaly_of(&meta, events);
+        let head_kept =
+            self.cfg.head_rate != 0 && mix64(self.cfg.seed, meta.session).is_multiple_of(self.cfg.head_rate);
+        if anomaly == 0 && !head_kept {
+            self.dropped += 1;
+            return;
+        }
+        let key = reservoir_key(self.cfg.seed, meta.session, anomaly);
+        if self.cut.is_some_and(|cut| key >= cut) {
+            self.dropped += 1;
+            return;
+        }
+        let trace = SessionTrace {
+            session: meta.session,
+            publisher: meta.publisher,
+            cdn: meta.cdn,
+            region: meta.region,
+            start_clock: meta.start_clock,
+            end_clock: meta.end_clock,
+            fatal: meta.fatal,
+            rebuffer_ratio: meta.rebuffer_ratio,
+            anomaly,
+            events: events.to_vec(),
+        };
+        self.insert(key, trace);
+    }
+
+    /// Offers an already-built trace (test/tooling entry point). The
+    /// trace's `anomaly` field is recomputed from its contents.
+    pub fn offer(&mut self, trace: SessionTrace) {
+        let meta = FinishMeta {
+            session: trace.session,
+            publisher: trace.publisher,
+            cdn: trace.cdn,
+            region: trace.region,
+            start_clock: trace.start_clock,
+            end_clock: trace.end_clock,
+            fatal: trace.fatal,
+            rebuffer_ratio: trace.rebuffer_ratio,
+        };
+        self.offer_buffer(meta, &trace.events);
+    }
+
+    /// Inserts a candidate in key order, then evicts greatest-key entries
+    /// while over budget, tightening the cut. Because prefix byte sums
+    /// are monotone, popping from the back until the set fits leaves
+    /// exactly the maximal budget-fitting key prefix — the same set the
+    /// offline walk-and-cut definition produces — in `O(log n)` per pop.
+    fn insert(&mut self, key: Key, trace: SessionTrace) {
+        self.kept_bytes += trace.approx_bytes();
+        if let Some((_, old)) = self.kept.insert(key, (self.epoch, trace)) {
+            // Duplicate session id (the synth pipeline's block-allocated
+            // u32 ids can alias at high `--scale`): keep the last offer —
+            // duplicates are emitted sequentially on one thread, so
+            // "last" is arrival-order independent — and count the
+            // displaced trace dropped so `seen == kept + dropped` holds.
+            self.kept_bytes -= old.approx_bytes();
+            self.dropped += 1;
+        }
+        while self.kept_bytes > self.cfg.byte_budget {
+            let Some((evicted_key, (_, t))) = self.kept.pop_last() else {
+                break;
+            };
+            self.kept_bytes -= t.approx_bytes();
+            self.dropped += 1;
+            let tighter = match self.cut {
+                Some(cut) => evicted_key.min(cut),
+                None => evicted_key,
+            };
+            self.cut = Some(tighter);
+        }
+        if self.publish_cut {
+            if let Some((flag, mix, _)) = self.cut {
+                // Mirror the (monotonically tightening) cut so completing
+                // threads can reject doomed candidates without the mutex.
+                // Within the cut's own class the mix bound is exact up to
+                // ties; a cut in the anomalous class dooms *every* normal
+                // candidate, hence the zero bound.
+                if flag == 0 {
+                    FAST_CUT_ANOM.store(mix, Ordering::Relaxed);
+                    FAST_CUT_NORM.store(0, Ordering::Relaxed);
+                } else {
+                    FAST_CUT_NORM.store(mix, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Records an alert's rendered form and its exemplar session ids.
+    pub fn note_alert(&mut self, alert: String, exemplars: Vec<u64>) {
+        self.alerts.push((alert, exemplars));
+    }
+
+    /// Kept traces matching a tag/window filter, anomalous first then by
+    /// session id, truncated to `limit`. Only the current epoch's traces
+    /// match — exemplars must come from the population that raised the
+    /// alert, not a replayed look-alike (see [`next_epoch`](Self::next_epoch)).
+    pub fn exemplars(&self, q: &ExemplarQuery) -> Vec<u64> {
+        let mut hits: Vec<(u8, u64)> = self
+            .kept
+            .values()
+            .filter(|(e, _)| *e == self.epoch)
+            .map(|(_, t)| t)
+            .filter(|t| q.matches(t))
+            .map(|t| (u8::from(t.anomaly == 0), t.session))
+            .collect();
+        hits.sort_unstable();
+        hits.truncate(q.limit);
+        hits.into_iter().map(|(_, s)| s).collect()
+    }
+
+    /// Finalizes into a report: kept traces sorted by session id plus
+    /// sampling statistics.
+    pub fn into_report(self) -> TraceReport {
+        let mut traces: Vec<SessionTrace> =
+            self.kept.into_values().map(|(_, t)| t).collect();
+        traces.sort_unstable_by_key(|t| t.session);
+        let tail_kept = traces.iter().filter(|t| t.anomaly != 0).count() as u64;
+        let bytes = traces.iter().map(SessionTrace::approx_bytes).sum();
+        TraceReport {
+            cfg: self.cfg,
+            seen: self.seen,
+            dropped: self.dropped,
+            tail_kept,
+            bytes,
+            traces,
+            alerts: self.alerts,
+        }
+    }
+}
+
+/// Tag/window filter for exemplar queries.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExemplarQuery {
+    /// Required publisher id, if any.
+    pub publisher: Option<u64>,
+    /// Required primary-CDN dense index, if any.
+    pub cdn: Option<u8>,
+    /// Required region index, if any.
+    pub region: Option<u8>,
+    /// Inclusive fault-clock window the session must have *ended* in.
+    pub window: Option<(f64, f64)>,
+    /// Maximum exemplars returned.
+    pub limit: usize,
+}
+
+impl ExemplarQuery {
+    fn matches(&self, t: &SessionTrace) -> bool {
+        if self.publisher.is_some_and(|p| p != t.publisher) {
+            return false;
+        }
+        if self.cdn.is_some_and(|c| c != t.cdn) {
+            return false;
+        }
+        if self.region.is_some_and(|r| r != t.region) {
+            return false;
+        }
+        if let Some((lo, hi)) = self.window {
+            if t.end_clock < lo || t.end_clock > hi {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Finalized capture: the deterministic kept set plus statistics.
+#[derive(Debug, Clone)]
+pub struct TraceReport {
+    /// The knobs the run was armed with.
+    pub cfg: TraceConfig,
+    /// Sessions offered.
+    pub seen: u64,
+    /// Sessions sampled out or evicted.
+    pub dropped: u64,
+    /// Kept sessions that are anomalous (tail policy).
+    pub tail_kept: u64,
+    /// Bytes resident in the kept set.
+    pub bytes: usize,
+    /// Kept traces sorted by session id.
+    pub traces: Vec<SessionTrace>,
+    /// Alerts noted during the run with their exemplar ids.
+    pub alerts: Vec<(String, Vec<u64>)>,
+}
+
+impl TraceReport {
+    /// Kept session count.
+    pub fn kept(&self) -> u64 {
+        self.traces.len() as u64
+    }
+
+    /// Renders the whole capture as JSONL: header, traces, alerts.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        let header = Value::Object(vec![
+            ("schema".to_string(), Value::Str(TRACE_SCHEMA.to_string())),
+            ("seed".to_string(), Value::U64(self.cfg.seed)),
+            ("head_rate".to_string(), Value::U64(self.cfg.head_rate)),
+            ("rebuffer_threshold".to_string(), Value::F64(self.cfg.rebuffer_threshold)),
+            ("byte_budget".to_string(), Value::U64(self.cfg.byte_budget as u64)),
+            ("seen".to_string(), Value::U64(self.seen)),
+            ("kept".to_string(), Value::U64(self.kept())),
+            ("tail_kept".to_string(), Value::U64(self.tail_kept)),
+            ("dropped".to_string(), Value::U64(self.dropped)),
+            ("bytes".to_string(), Value::U64(self.bytes as u64)),
+        ]);
+        out.reserve(self.bytes + self.bytes / 2);
+        out.push_str(&render(&header));
+        out.push('\n');
+        for t in &self.traces {
+            t.write_line(&mut out);
+            out.push('\n');
+        }
+        for (alert, exemplars) in &self.alerts {
+            let ids: Vec<Value> = exemplars.iter().map(|&s| Value::U64(s)).collect();
+            let line = Value::Object(vec![
+                ("alert".to_string(), Value::Str(alert.clone())),
+                ("exemplars".to_string(), Value::Array(ids)),
+            ]);
+            out.push_str(&render(&line));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes [`to_jsonl`](Self::to_jsonl) to a writer.
+    pub fn write_jsonl<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        w.write_all(self.to_jsonl().as_bytes())
+    }
+}
+
+// --- global arming ----------------------------------------------------------
+
+static SESSION_TRACING: AtomicBool = AtomicBool::new(false);
+
+fn collector_slot() -> &'static Mutex<Option<TraceCollector>> {
+    static SLOT: OnceLock<Mutex<Option<TraceCollector>>> = OnceLock::new();
+    SLOT.get_or_init(|| Mutex::new(None))
+}
+
+/// Lock-free mirror of the armed config's sampling knobs, plus a count of
+/// sessions dropped without ever touching the collector mutex. Sharded
+/// generation finishes sessions on many worker threads at once; the vast
+/// majority are normal and not head-sampled, so [`SessionScope::finish`]
+/// can classify them from these relaxed atomics alone and skip the lock.
+/// The counts fold back into the collector's `seen`/`dropped` at
+/// [`finalize`] time, so report totals are identical to the locked path.
+static FAST_SEED: AtomicU64 = AtomicU64::new(0);
+static FAST_HEAD_RATE: AtomicU64 = AtomicU64::new(0);
+static FAST_REBUF_BITS: AtomicU64 = AtomicU64::new(0);
+static FAST_DROPPED: AtomicU64 = AtomicU64::new(0);
+
+/// Lock-free mirrors of the armed collector's reservoir cut, one bound
+/// per anomaly class (`u64::MAX` = no cut yet). A candidate whose salted
+/// reservoir mix is strictly above its class bound sorts at or after some
+/// historical cut; the cut only ever tightens, so such a candidate can
+/// never re-enter the final budget prefix and is dropped without taking
+/// the collector mutex. Ties and bound-stale candidates fall through to
+/// the locked path, which re-checks against the exact cut — the kept set
+/// is byte-identical to the all-locked ordering.
+static FAST_CUT_ANOM: AtomicU64 = AtomicU64::new(u64::MAX);
+static FAST_CUT_NORM: AtomicU64 = AtomicU64::new(u64::MAX);
+
+/// Whether per-session tracing is currently armed.
+///
+/// One relaxed load — instrumented code gates every [`emit`] and every
+/// scope begin on this, so the disabled path stays no-op-cheap.
+pub fn session_tracing_enabled() -> bool {
+    SESSION_TRACING.load(Ordering::Relaxed)
+}
+
+/// Arms per-session tracing with the given knobs, replacing any previous
+/// capture.
+pub fn arm(cfg: TraceConfig) {
+    let slot = collector_slot();
+    let mut guard = slot.lock().unwrap_or_else(|e| e.into_inner());
+    FAST_SEED.store(cfg.seed, Ordering::Relaxed);
+    FAST_HEAD_RATE.store(cfg.head_rate, Ordering::Relaxed);
+    FAST_REBUF_BITS.store(cfg.rebuffer_threshold.to_bits(), Ordering::Relaxed);
+    FAST_DROPPED.store(0, Ordering::Relaxed);
+    FAST_CUT_ANOM.store(u64::MAX, Ordering::Relaxed);
+    FAST_CUT_NORM.store(u64::MAX, Ordering::Relaxed);
+    let mut collector = TraceCollector::new(cfg);
+    collector.publish_cut = true;
+    *guard = Some(collector);
+    SESSION_TRACING.store(true, Ordering::Relaxed);
+}
+
+/// Disarms tracing and finalizes the capture, recording
+/// `trace.sessions_kept` / `trace.sessions_dropped` / `trace.tail_kept` /
+/// `trace.bytes` under a `trace.finalize` span. Returns `None` when
+/// tracing was never armed.
+pub fn finalize() -> Option<TraceReport> {
+    let slot = collector_slot();
+    let mut collector = {
+        let mut guard = slot.lock().unwrap_or_else(|e| e.into_inner());
+        SESSION_TRACING.store(false, Ordering::Relaxed);
+        guard.take()
+    }?;
+    let fast_dropped = FAST_DROPPED.swap(0, Ordering::Relaxed);
+    collector.seen += fast_dropped;
+    collector.dropped += fast_dropped;
+    let _span = crate::span("trace.finalize");
+    let report = collector.into_report();
+    crate::counter("trace.sessions_kept").add(report.kept());
+    crate::counter("trace.sessions_dropped").add(report.dropped);
+    crate::counter("trace.tail_kept").add(report.tail_kept);
+    crate::counter("trace.bytes").add(report.bytes as u64);
+    Some(report)
+}
+
+/// Starts a new exemplar epoch on the armed collector (no-op when tracing
+/// is off). Harnesses call this between populations that replay the same
+/// fault-clock range; see [`TraceCollector::next_epoch`].
+pub fn next_epoch() {
+    with_collector(TraceCollector::next_epoch);
+}
+
+/// Runs `f` against the armed collector, if any.
+pub fn with_collector<R>(f: impl FnOnce(&mut TraceCollector) -> R) -> Option<R> {
+    if !session_tracing_enabled() {
+        return None;
+    }
+    let slot = collector_slot();
+    let mut guard = slot.lock().unwrap_or_else(|e| e.into_inner());
+    guard.as_mut().map(f)
+}
+
+// --- speculative per-thread builder ----------------------------------------
+
+/// All per-thread tracing state behind ONE thread-local: TLS address
+/// lookups are a real cost at millions of sessions and events per run.
+/// Flat fields (no `Option` wrapper, no arena hand-off) keep the per-emit
+/// and per-session paths to a borrow, a flag test, and the field writes;
+/// the event buffer is reused across sessions so steady-state tracing
+/// does one allocation per thread, not per session.
+struct TraceTls {
+    /// Whether a scope is currently recording on this thread.
+    recording: bool,
+    /// Whether any buffered event is itself anomaly-triggering
+    /// (retry-denied / shed), tracked at [`emit`] time so completion can
+    /// classify the session without rescanning the buffer.
+    anomalous_event: bool,
+    meta: FinishMeta,
+    events: Vec<SessionEvent>,
+}
+
+thread_local! {
+    static TLS: RefCell<TraceTls> = const {
+        RefCell::new(TraceTls {
+            recording: false,
+            anomalous_event: false,
+            meta: FinishMeta {
+                session: 0,
+                publisher: NO_PUBLISHER,
+                cdn: NO_CDN,
+                region: NO_REGION,
+                start_clock: 0.0,
+                end_clock: 0.0,
+                fatal: false,
+                rebuffer_ratio: 0.0,
+            },
+            events: Vec::new(),
+        })
+    };
+}
+
+/// RAII scope for one traced session on the current thread.
+///
+/// Dropping without [`finish`](Self::finish) abandons the speculative
+/// buffer (the session is not offered to the sampler).
+#[derive(Debug)]
+pub struct SessionScope {
+    armed: bool,
+}
+
+/// Starts speculatively tracing a session on this thread. Returns a
+/// disarmed no-op scope when tracing is off.
+pub fn begin(
+    session: u64,
+    publisher: u64,
+    cdn: u8,
+    region: u8,
+    start_clock: f64,
+) -> SessionScope {
+    if !session_tracing_enabled() {
+        return SessionScope { armed: false };
+    }
+    TLS.with(|tl| {
+        let tl = &mut *tl.borrow_mut();
+        tl.recording = true;
+        tl.anomalous_event = false;
+        tl.meta = FinishMeta {
+            session,
+            publisher,
+            cdn,
+            region,
+            start_clock,
+            end_clock: start_clock,
+            fatal: false,
+            rebuffer_ratio: 0.0,
+        };
+        tl.events.clear();
+    });
+    SessionScope { armed: true }
+}
+
+impl SessionScope {
+    /// Sets the primary-CDN tag after the fact — harnesses that delegate
+    /// CDN selection to the broker only learn it from the outcome.
+    pub fn set_cdn(&self, cdn: u8) {
+        if !self.armed {
+            return;
+        }
+        TLS.with(|tl| {
+            let tl = &mut *tl.borrow_mut();
+            if tl.recording {
+                tl.meta.cdn = cdn;
+            }
+        });
+    }
+
+    /// Completes the session and offers it to the sampler.
+    pub fn finish(self, end_clock: f64, fatal: bool, rebuffer_ratio: f64) {
+        self.finish_tagged(None, end_clock, fatal, rebuffer_ratio);
+    }
+
+    /// [`finish`](Self::finish) that also retags the primary CDN in the
+    /// same thread-local access — completion-time attribution (first CDN
+    /// actually used) without a separate [`set_cdn`](Self::set_cdn) call
+    /// on the per-session hot path.
+    pub fn finish_tagged(
+        mut self,
+        cdn: Option<u8>,
+        end_clock: f64,
+        fatal: bool,
+        rebuffer_ratio: f64,
+    ) {
+        if !self.armed {
+            return;
+        }
+        self.armed = false;
+        TLS.with(|tl| {
+            let tl = &mut *tl.borrow_mut();
+            if !tl.recording {
+                return;
+            }
+            tl.recording = false;
+            if let Some(cdn) = cdn {
+                tl.meta.cdn = cdn;
+            }
+            tl.meta.end_clock = end_clock;
+            tl.meta.fatal = fatal;
+            tl.meta.rebuffer_ratio = rebuffer_ratio;
+            // Lock-free fast path: a normal, non-head-sampled session can
+            // never enter the reservoir, and neither can a candidate whose
+            // reservoir key is past the published cut — count both dropped
+            // without taking the collector mutex. Mirrors `offer_buffer`'s
+            // rejection tests.
+            let seed = FAST_SEED.load(Ordering::Relaxed);
+            let head_rate = FAST_HEAD_RATE.load(Ordering::Relaxed);
+            let head_kept = head_rate != 0 && mix64(seed, tl.meta.session).is_multiple_of(head_rate);
+            let anomalous = fatal
+                || tl.anomalous_event
+                || rebuffer_ratio >= f64::from_bits(FAST_REBUF_BITS.load(Ordering::Relaxed));
+            let mut offer = anomalous || head_kept;
+            if offer {
+                let bound = if anomalous {
+                    FAST_CUT_ANOM.load(Ordering::Relaxed)
+                } else {
+                    FAST_CUT_NORM.load(Ordering::Relaxed)
+                };
+                offer = mix64(seed ^ KEY_SALT, tl.meta.session) <= bound;
+            }
+            if offer {
+                with_collector(|c| c.offer_buffer(tl.meta, &tl.events));
+            } else if session_tracing_enabled() {
+                FAST_DROPPED.fetch_add(1, Ordering::Relaxed);
+            }
+            tl.events.clear();
+        });
+    }
+}
+
+impl Drop for SessionScope {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        TLS.with(|tl| {
+            let tl = &mut *tl.borrow_mut();
+            tl.recording = false;
+            tl.events.clear();
+        });
+    }
+}
+
+/// Records one causal event into the session being traced on this thread.
+///
+/// No-op (one relaxed load + branch) when tracing is off or no scope is
+/// active, so instrumented hot paths cost nothing in normal runs.
+#[inline]
+pub fn emit(kind: TraceEventKind, clock: f64, cdn: u8, code: u32, value: f64) {
+    if !session_tracing_enabled() {
+        return;
+    }
+    TLS.with(|tl| {
+        let tl = &mut *tl.borrow_mut();
+        if tl.recording {
+            tl.anomalous_event |=
+                matches!(kind, TraceEventKind::RetryDenied | TraceEventKind::Shed);
+            tl.events.push(SessionEvent { kind, clock, cdn, code, value });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(session: u64, anomaly_fatal: bool, n_events: usize) -> SessionTrace {
+        SessionTrace {
+            session,
+            publisher: session % 4,
+            cdn: (session % 3) as u8,
+            region: NO_REGION,
+            start_clock: 0.0,
+            end_clock: 100.0 + session as f64,
+            fatal: anomaly_fatal,
+            rebuffer_ratio: 0.0,
+            anomaly: 0,
+            events: vec![
+                SessionEvent {
+                    kind: TraceEventKind::ChunkFetch,
+                    clock: 1.0,
+                    cdn: 0,
+                    code: 1200,
+                    value: 0.2,
+                };
+                n_events
+            ],
+        }
+    }
+
+    #[test]
+    fn head_sampling_is_a_pure_function_of_seed_and_id() {
+        let cfg = TraceConfig { seed: 7, head_rate: 4, ..TraceConfig::default() };
+        let mut a = TraceCollector::new(cfg);
+        let mut b = TraceCollector::new(cfg);
+        for s in 0..100 {
+            a.offer(trace(s, false, 2));
+        }
+        for s in (0..100).rev() {
+            b.offer(trace(s, false, 2));
+        }
+        let (ra, rb) = (a.into_report(), b.into_report());
+        assert_eq!(ra.traces, rb.traces);
+        assert!(ra.kept() > 0, "head sampler kept nothing at rate 4 over 100 sessions");
+        assert_eq!(ra.seen, 100);
+        assert_eq!(ra.kept() + ra.dropped, ra.seen);
+    }
+
+    #[test]
+    fn anomalous_sessions_survive_head_sampling() {
+        let cfg = TraceConfig { seed: 7, head_rate: u64::MAX, ..TraceConfig::default() };
+        let mut c = TraceCollector::new(cfg);
+        for s in 0..50 {
+            c.offer(trace(s, s % 10 == 0, 2));
+        }
+        let r = c.into_report();
+        assert_eq!(r.kept(), 5);
+        assert_eq!(r.tail_kept, 5);
+        assert!(r.traces.iter().all(|t| t.anomaly & ANOMALY_FATAL != 0));
+    }
+
+    #[test]
+    fn reservoir_respects_budget_and_counts_drops() {
+        let per = trace(0, true, 8).approx_bytes();
+        let cfg = TraceConfig {
+            seed: 3,
+            head_rate: 1,
+            byte_budget: per * 5 + per / 2,
+            ..TraceConfig::default()
+        };
+        let mut c = TraceCollector::new(cfg);
+        for s in 0..40 {
+            c.offer(trace(s, true, 8));
+        }
+        assert!(c.kept_bytes() <= cfg.byte_budget);
+        let r = c.into_report();
+        assert_eq!(r.kept(), 5);
+        assert_eq!(r.dropped, 35);
+        assert!(r.bytes <= cfg.byte_budget);
+    }
+
+    #[test]
+    fn eviction_order_does_not_change_the_kept_set() {
+        let per = trace(0, false, 4).approx_bytes();
+        let cfg = TraceConfig {
+            seed: 11,
+            head_rate: 1,
+            byte_budget: per * 7,
+            ..TraceConfig::default()
+        };
+        let orders: [Vec<u64>; 3] = [
+            (0..30).collect(),
+            (0..30).rev().collect(),
+            (0..30).map(|i| (i * 17) % 30).collect(),
+        ];
+        let mut reports = orders.iter().map(|order| {
+            let mut c = TraceCollector::new(cfg);
+            for &s in order {
+                c.offer(trace(s, s % 7 == 0, 4));
+            }
+            c.into_report()
+        });
+        let first = reports.next().expect("three orders");
+        for r in reports {
+            assert_eq!(first.traces, r.traces);
+            assert_eq!(first.dropped, r.dropped);
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trip_is_lossless() {
+        let mut t = trace(42, true, 3);
+        t.anomaly = ANOMALY_FATAL | ANOMALY_SHED;
+        t.events.push(SessionEvent {
+            kind: TraceEventKind::Rebuffer,
+            clock: 33.25,
+            cdn: NO_CDN,
+            code: 0,
+            value: 1.5,
+        });
+        let line = t.to_jsonl();
+        let v: Value = serde_json::from_str(&line).expect("parses");
+        let back = SessionTrace::from_json(&v).expect("round-trips");
+        assert_eq!(t, back);
+        assert_eq!(back.to_jsonl(), line);
+    }
+
+    #[test]
+    fn exemplar_query_prefers_anomalous_and_respects_tags() {
+        let cfg = TraceConfig { seed: 1, head_rate: 1, ..TraceConfig::default() };
+        let mut c = TraceCollector::new(cfg);
+        for s in 0..20 {
+            let mut t = trace(s, s == 7, 1);
+            t.cdn = (s % 2) as u8;
+            c.offer(t);
+        }
+        let ids = c.exemplars(&ExemplarQuery {
+            cdn: Some(1),
+            limit: 3,
+            ..ExemplarQuery::default()
+        });
+        assert_eq!(ids.len(), 3);
+        assert_eq!(ids[0], 7, "anomalous session 7 (cdn 1) should lead");
+        let windowed = c.exemplars(&ExemplarQuery {
+            window: Some((100.0, 102.0)),
+            limit: 10,
+            ..ExemplarQuery::default()
+        });
+        assert!(windowed.iter().all(|&s| s <= 2));
+    }
+}

@@ -65,6 +65,53 @@ impl SessionEnd {
     }
 }
 
+/// Starts a session-trace scope for a session the harness is about to
+/// play, translating the workspace's tag types into the compact dense
+/// encodings `vmp-obs` stores. Returns a disarmed no-op scope when
+/// session tracing is off.
+pub fn trace_begin(
+    session: u64,
+    publisher: Option<u64>,
+    cdn: Option<CdnName>,
+    region: Option<usize>,
+    start_clock: Seconds,
+) -> vmp_obs::session_trace::SessionScope {
+    use vmp_obs::session_trace::{NO_CDN, NO_PUBLISHER, NO_REGION};
+    vmp_obs::session_trace::begin(
+        session,
+        publisher.unwrap_or(NO_PUBLISHER),
+        cdn.map_or(NO_CDN, |c| c.dense_index() as u8),
+        region.map_or(NO_REGION, |r| r.min(NO_REGION as usize - 1) as u8),
+        start_clock.0,
+    )
+}
+
+/// Starts a new session-trace exemplar epoch. Harnesses that replay
+/// several populations over the same fault-clock range (scenario arms,
+/// replays, controls) call this before each population so alert exemplar
+/// queries only see the population that raised the alert. No-op when
+/// tracing is off.
+pub fn trace_epoch() {
+    vmp_obs::session_trace::next_epoch();
+}
+
+/// Completes a trace scope from a finished outcome, offering the session
+/// to the tail sampler. The primary-CDN tag follows [`SessionEnd`]'s
+/// attribution (first CDN used), and the rebuffer ratio follows the
+/// monitor plane's convention: stall time over stall-plus-play time.
+pub fn trace_finish(scope: vmp_obs::session_trace::SessionScope, outcome: &SessionOutcome) {
+    let primary = outcome.cdns.first().map(|c| c.dense_index() as u8);
+    let stall = outcome.qoe.rebuffer_time.0;
+    let denom = stall + outcome.qoe.played.0;
+    let ratio = if denom > 0.0 { stall / denom } else { 0.0 };
+    scope.finish_tagged(
+        primary,
+        outcome.end_clock.0,
+        outcome.exit == ExitCause::FatalCdnFailure,
+        ratio,
+    );
+}
+
 /// Receiver of session completions, called once per finished session.
 pub trait CompletionSink {
     /// Accepts one completion.

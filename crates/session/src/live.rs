@@ -172,6 +172,13 @@ pub fn surge_infrastructure_fn<'a>(
         }
         if let Some(capacity) = surge.capacity.get_mut(&cdn) {
             if !capacity.admit(region_index, req.clock, req.joining) {
+                vmp_obs::session_trace::emit(
+                    vmp_obs::session_trace::TraceEventKind::Shed,
+                    req.clock.0,
+                    cdn.dense_index() as u8,
+                    u32::from(req.joining),
+                    0.0,
+                );
                 return Err(FetchError::Shed { cdn });
             }
         }
@@ -189,6 +196,13 @@ pub fn surge_infrastructure_fn<'a>(
                 // origin.
                 let throughput_factor =
                     faults.map(|fi| fi.throughput_factor_in(cdn, region, req.clock)).unwrap_or(1.0);
+                vmp_obs::session_trace::emit(
+                    vmp_obs::session_trace::TraceEventKind::Coalesce,
+                    req.clock.0,
+                    cdn.dense_index() as u8,
+                    0,
+                    0.0,
+                );
                 return Ok(ChunkServe {
                     cache: CacheOutcome::Miss,
                     coalesced: true,

@@ -28,7 +28,15 @@ use vmp_core::ladder::BitrateLadder;
 use vmp_core::qoe::QoeSummary;
 use vmp_core::units::{Bytes, Kbps, Seconds};
 use vmp_faults::{FaultInjector, RetryPolicy};
+use vmp_obs::session_trace::{self, TraceEventKind};
 use vmp_stats::Rng;
+
+/// Session-trace emit with the workspace's CDN naming; compiles down to a
+/// relaxed load + branch when tracing is off.
+#[inline]
+fn trace_emit(kind: TraceEventKind, clock: Seconds, cdn: CdnName, code: u32, value: f64) {
+    session_trace::emit(kind, clock.0, cdn.dense_index() as u8, code, value);
+}
 
 /// Hard cap on mid-session failovers; prevents two broken CDNs from
 /// ping-ponging a session forever. Hitting the cap converts the next
@@ -404,7 +412,8 @@ impl<'a> Player<'a> {
         } else {
             ctx.broker.select(ctx.strategy, self.config.class, rng)
         }
-        .unwrap_or_else(|| ctx.strategy.cdns()[0]);
+        .or_else(|| ctx.strategy.cdns().first().copied())
+        .unwrap_or(CdnName::A);
         let failover = FailoverCtx {
             broker: ctx.broker,
             strategy: ctx.strategy,
@@ -459,6 +468,7 @@ impl<'a> Player<'a> {
             while fi.manifest_failure(cdn, clock, rng) {
                 retries += 1;
                 self.metrics.manifest_retries.inc();
+                trace_emit(TraceEventKind::ManifestRetry, clock, cdn, attempt, 0.0);
                 if let Some(fo) = &failover {
                     if fo.health_gate {
                         fo.broker.record_fetch_failure(cdn, clock);
@@ -468,6 +478,7 @@ impl<'a> Player<'a> {
                     let wait = cfg.retry.backoff(attempt, rng);
                     clock += wait;
                     startup_delay += wait;
+                    trace_emit(TraceEventKind::Backoff, clock, cdn, attempt, wait.0);
                     attempt += 1;
                     continue;
                 }
@@ -488,6 +499,7 @@ impl<'a> Player<'a> {
                                 vmp_obs::EventKind::CdnSwitch,
                                 format!("manifest: failover to {next:?} after fetch failures"),
                             );
+                            trace_emit(TraceEventKind::CdnSwitch, clock, next, 0, 0.0);
                             attempt = 0;
                             switched = true;
                         }
@@ -500,6 +512,7 @@ impl<'a> Player<'a> {
                         vmp_obs::EventKind::SessionFatal,
                         format!("manifest unavailable on {cdn:?}, no failover left"),
                     );
+                    trace_emit(TraceEventKind::Fatal, clock, cdn, 4, 0.0);
                     break;
                 }
             }
@@ -524,6 +537,7 @@ impl<'a> Player<'a> {
                             vmp_obs::EventKind::CdnSwitch,
                             format!("chunk {chunk_index}: failover to {next:?}"),
                         );
+                        trace_emit(TraceEventKind::CdnSwitch, clock, next, 0, 0.0);
                         predictor.reset();
                     }
                 }
@@ -591,6 +605,13 @@ impl<'a> Player<'a> {
                             // The client waited out the whole timeout.
                             chunk_wait += cfg.retry.timeout;
                             clock += cfg.retry.timeout;
+                            trace_emit(
+                                TraceEventKind::Timeout,
+                                clock,
+                                cdn,
+                                attempt,
+                                cfg.retry.timeout.0,
+                            );
                             FetchError::Timeout { cdn }
                         } else {
                             break Ok((bitrate, size, download_time, throughput));
@@ -599,6 +620,10 @@ impl<'a> Player<'a> {
                 };
                 retries += 1;
                 self.metrics.retries.inc();
+                if !matches!(failure, FetchError::Timeout { .. }) {
+                    trace_emit(TraceEventKind::ChunkError, clock, cdn, failure.trace_code(), 0.0);
+                }
+                trace_emit(TraceEventKind::Retry, clock, cdn, attempt, 0.0);
                 if let Some(fo) = &failover {
                     if fo.health_gate {
                         fo.broker.record_fetch_failure(cdn, clock);
@@ -608,6 +633,7 @@ impl<'a> Player<'a> {
                     let wait = cfg.retry.backoff(attempt, rng);
                     chunk_wait += wait;
                     clock += wait;
+                    trace_emit(TraceEventKind::Backoff, clock, cdn, attempt, wait.0);
                     attempt += 1;
                     continue;
                 }
@@ -632,6 +658,7 @@ impl<'a> Player<'a> {
                                     failure.label()
                                 ),
                             );
+                            trace_emit(TraceEventKind::CdnSwitch, clock, next, 0, 0.0);
                             predictor.reset();
                             attempt = 0;
                             switched = true;
@@ -654,6 +681,7 @@ impl<'a> Player<'a> {
                         vmp_obs::EventKind::SessionFatal,
                         format!("chunk {chunk_index}: {} with no failover left", e.label()),
                     );
+                    trace_emit(TraceEventKind::Fatal, clock, cdn, e.trace_code(), 0.0);
                     if started {
                         rebuffer += chunk_wait;
                     } else {
@@ -670,11 +698,13 @@ impl<'a> Player<'a> {
             if last_bitrate != Kbps::ZERO && bitrate != last_bitrate {
                 switches += 1;
                 self.metrics.bitrate_switches.inc();
+                trace_emit(TraceEventKind::AbrSwitch, clock, cdn, bitrate.0, 0.0);
             }
             self.metrics.chunks_fetched.inc();
             // Simulated (virtual-clock) download time, in microseconds.
             self.metrics.chunk_download_us.record((download_time.0 * 1e6) as u64);
             clock += download_time;
+            trace_emit(TraceEventKind::ChunkFetch, clock, cdn, bitrate.0, download_time.0);
 
             // Buffer dynamics. Retry waits stall playback exactly like slow
             // downloads do.
@@ -698,6 +728,13 @@ impl<'a> Player<'a> {
                     vmp_obs::event(
                         vmp_obs::EventKind::RebufferStop,
                         format!("chunk {chunk_index}: stalled {:.3}s", -after_drain),
+                    );
+                    session_trace::emit(
+                        TraceEventKind::Rebuffer,
+                        clock.0,
+                        session_trace::NO_CDN,
+                        0,
+                        -after_drain,
                     );
                 } else {
                     buffer = Seconds(after_drain);

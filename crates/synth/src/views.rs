@@ -130,12 +130,23 @@ pub fn generate_views(
                 Seconds(injector.profile().horizon().0 * (i as f64 / n as f64));
         }
         let abr = abr_for_device(device);
+        let start_clock = playback.start_offset;
         // `vod`/`live` configs always validate; skip the view rather than
         // panic if that invariant ever breaks.
         let Ok(mut player) = Player::new(playback, network, abr.as_ref()) else {
             continue;
         };
+        // Speculative wide-event trace: a no-op scope unless the run armed
+        // `--session-trace`. Session ids match the telemetry rows below.
+        let trace = vmp_session::hooks::trace_begin(
+            session_base.wrapping_add(i as u32) as u64,
+            Some(u64::from(profile.publisher.id.raw())),
+            Some(cdn),
+            None,
+            start_clock,
+        );
         let mut outcome = player.play_with(cdn, faults.as_ref(), rng);
+        vmp_session::hooks::trace_finish(trace, &outcome);
         // Extrapolate the truncated QoE to the full view.
         if outcome.qoe.played.0 > 0.0 && watch.0 > outcome.qoe.played.0 {
             let scale = watch.0 / outcome.qoe.played.0;
