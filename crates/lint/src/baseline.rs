@@ -1,8 +1,10 @@
-//! The D2 ratchet baseline: existing panic-policy findings are grandfathered
-//! in `lint-baseline.json`, and the count may only go down.
+//! Ratchet baselines: existing findings for the ratcheted rules are
+//! grandfathered per file — D2 panic-policy debt in `lint-baseline.json`,
+//! C3 overflow debt in `lint-overflow-baseline.json` — and each count may
+//! only go down.
 //!
-//! Protocol:
-//! * a D2 finding in a file is tolerated while the file's current count is
+//! Protocol (identical for both rules):
+//! * a finding in a file is tolerated while the file's current count is
 //!   within its baselined count;
 //! * any file exceeding its baseline (or absent from it) fails the run —
 //!   new panic sites cannot ship;
@@ -16,7 +18,7 @@ use std::path::Path;
 
 use crate::diag::json_escape;
 
-/// A parsed baseline: per-file tolerated D2 counts.
+/// A parsed baseline: per-file tolerated counts for one ratcheted rule.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Baseline {
     /// Tolerated findings per workspace-relative file.
@@ -82,9 +84,11 @@ impl Baseline {
     }
 
     /// Renders the canonical baseline JSON (sorted keys, stable shape —
-    /// byte-identical across runs on the same tree).
-    pub fn render(&self) -> String {
-        let mut out = String::from("{\n  \"version\": 1,\n  \"rule\": \"D2\",\n");
+    /// byte-identical across runs on the same tree) for the given ratcheted
+    /// rule (`D2` for `lint-baseline.json`, `C3` for
+    /// `lint-overflow-baseline.json`).
+    pub fn render(&self, rule: &str) -> String {
+        let mut out = format!("{{\n  \"version\": 1,\n  \"rule\": \"{rule}\",\n");
         out.push_str(&format!("  \"total\": {},\n  \"files\": {{\n", self.total()));
         let n = self.files.len();
         for (i, (file, count)) in self.files.iter().enumerate() {
@@ -100,7 +104,7 @@ impl Baseline {
     }
 }
 
-/// Outcome of comparing current per-file D2 counts against the baseline.
+/// Outcome of comparing current per-file counts against a baseline.
 #[derive(Debug, Default)]
 pub struct RatchetCheck {
     /// Files whose count rose above the baseline: `(file, current, allowed)`.
@@ -149,9 +153,12 @@ mod tests {
     #[test]
     fn render_parse_round_trip() {
         let b = baseline(&[("crates/a/src/x.rs", 3), ("crates/b/src/y.rs", 1)]);
-        let parsed = Baseline::parse(&b.render()).expect("round trip");
+        let rendered = b.render("D2");
+        let parsed = Baseline::parse(&rendered).expect("round trip");
         assert_eq!(parsed, b);
         assert_eq!(parsed.total(), 4);
+        assert!(rendered.contains("\"rule\": \"D2\""));
+        assert!(b.render("C3").contains("\"rule\": \"C3\""));
     }
 
     #[test]

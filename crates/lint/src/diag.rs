@@ -23,11 +23,32 @@ pub enum RuleId {
     /// Pragma hygiene: a `// vmp-lint: allow(...)` that suppresses nothing
     /// is itself an error.
     D5,
+    /// Lock order: the interprocedural lock-order graph (edges = "acquired
+    /// while holding") must be acyclic, and no lock may be re-acquired
+    /// while held.
+    C1,
+    /// Atomics registry: every atomic field is declared in
+    /// `crates/obs/ATOMICS.md` with an ordering discipline, and every
+    /// `Ordering::*` call site conforms to it (checked both directions).
+    C2,
+    /// Overflow/truncation: lossy `as` casts to narrow integer types and
+    /// unchecked `+=`/`*=` on counter-named fields in library code
+    /// (ratcheted via `lint-overflow-baseline.json`).
+    C3,
 }
 
 impl RuleId {
     /// All rules, in ID order.
-    pub const ALL: [RuleId; 5] = [RuleId::D1, RuleId::D2, RuleId::D3, RuleId::D4, RuleId::D5];
+    pub const ALL: [RuleId; 8] = [
+        RuleId::D1,
+        RuleId::D2,
+        RuleId::D3,
+        RuleId::D4,
+        RuleId::D5,
+        RuleId::C1,
+        RuleId::C2,
+        RuleId::C3,
+    ];
 
     /// Stable textual ID.
     pub fn as_str(self) -> &'static str {
@@ -37,6 +58,9 @@ impl RuleId {
             RuleId::D3 => "D3",
             RuleId::D4 => "D4",
             RuleId::D5 => "D5",
+            RuleId::C1 => "C1",
+            RuleId::C2 => "C2",
+            RuleId::C3 => "C3",
         }
     }
 
@@ -48,6 +72,9 @@ impl RuleId {
             "D3" => Some(RuleId::D3),
             "D4" => Some(RuleId::D4),
             "D5" => Some(RuleId::D5),
+            "C1" => Some(RuleId::C1),
+            "C2" => Some(RuleId::C2),
+            "C3" => Some(RuleId::C3),
             _ => None,
         }
     }
@@ -69,6 +96,102 @@ impl RuleId {
             }
             RuleId::D4 => "unsafe hygiene: #![forbid(unsafe_code)] in every non-shim crate root",
             RuleId::D5 => "pragma hygiene: stale vmp-lint allow(...) pragmas are errors",
+            RuleId::C1 => {
+                "lock order: the interprocedural lock-order graph must be acyclic \
+                 (no acquired-while-holding cycle, no re-acquisition of a held lock)"
+            }
+            RuleId::C2 => {
+                "atomics registry: atomic fields must be declared in \
+                 crates/obs/ATOMICS.md with an ordering discipline matching every \
+                 Ordering::* call site (both directions)"
+            }
+            RuleId::C3 => {
+                "overflow policy: lossy as-casts to narrow integers and unchecked \
+                 +=/*= on counter fields in library code (ratcheted via \
+                 lint-overflow-baseline.json)"
+            }
+        }
+    }
+
+    /// Why the rule exists — one sentence, shared verbatim with
+    /// `DESIGN.md` (a drift test asserts the docs contain it).
+    pub fn rationale(self) -> &'static str {
+        match self {
+            RuleId::D1 => {
+                "Byte-identical replay is the platform's headline guarantee; one \
+                 ambient clock read or unordered-map iteration in a figure path \
+                 silently breaks it."
+            }
+            RuleId::D2 => {
+                "Library code that panics takes the whole measurement pipeline down \
+                 with it; typed errors keep a bad input from costing a run."
+            }
+            RuleId::D3 => {
+                "A metric name that drifts from the registry is a dashboard that \
+                 silently flatlines; cross-checking both directions keeps docs and \
+                 code in lockstep."
+            }
+            RuleId::D4 => {
+                "Forbidding unsafe code at every crate root makes the memory-safety \
+                 argument a grep, not an audit."
+            }
+            RuleId::D5 => {
+                "A suppression that outlives the code it excused is a hole in the \
+                 gate; stale pragmas must fail so every allow keeps earning its keep."
+            }
+            RuleId::C1 => {
+                "Two locks taken in opposite orders on two threads deadlock the \
+                 management plane in production, not in tests; an acyclic lock-order \
+                 graph makes that impossible by construction."
+            }
+            RuleId::C2 => {
+                "Every relaxed atomic is a proof obligation about why stale reads \
+                 are safe; the registry forces that argument to be written down and \
+                 keeps call sites from quietly strengthening or weakening it."
+            }
+            RuleId::C3 => {
+                "Row and byte counters grow with --scale; a lossy cast or unchecked \
+                 add that was fine at 1.2M rows silently truncates at 122M."
+            }
+        }
+    }
+
+    /// Fix recipes printed by `vmp-lint --explain RULE` (and mirrored in
+    /// the docs via the same table).
+    pub fn recipes(self) -> &'static [&'static str] {
+        match self {
+            RuleId::D1 => &[
+                "route wall-clock reads through vmp_obs::Stopwatch",
+                "replace HashMap/HashSet with BTreeMap/BTreeSet in figure paths, or sort before emitting",
+            ],
+            RuleId::D2 => &[
+                "propagate a typed error with ? instead of .unwrap()/.expect(\"…\")",
+                "use let-else with a failed-check return for impossible states",
+                "replace v[0] with v.first()/.get(N) and handle the None arm",
+            ],
+            RuleId::D3 => &[
+                "register the name in crates/obs/METRICS.md with its kind and description",
+                "delete registry rows whose name no longer appears in source",
+            ],
+            RuleId::D4 => &["add #![forbid(unsafe_code)] to the crate root"],
+            RuleId::D5 => &[
+                "delete the stale pragma, or move it onto the line it is meant to excuse",
+            ],
+            RuleId::C1 => &[
+                "acquire the two locks in one canonical order everywhere",
+                "shrink the critical section: drop the guard (end its block) before calling into code that locks",
+                "merge the two locks into one if they always guard the same state",
+            ],
+            RuleId::C2 => &[
+                "register the field in crates/obs/ATOMICS.md with a discipline naming why its orderings are safe",
+                "match the call sites to the declared discipline (e.g. relaxed-counter means Relaxed everywhere)",
+                "delete registry rows for fields that no longer exist",
+            ],
+            RuleId::C3 => &[
+                "use u32::try_from(x) / try_into() and handle the Err arm",
+                "use checked_add/saturating_add on counters that scale with input size",
+                "if the bound is provable, say so: // vmp-lint: allow(C3): <why>",
+            ],
         }
     }
 }

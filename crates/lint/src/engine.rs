@@ -8,6 +8,9 @@ use std::path::{Path, PathBuf};
 use crate::diag::{sort_canonical, Diagnostic, RuleId};
 use crate::lexer::{lex, Tok, TokKind};
 use crate::rules;
+use crate::rules_conc::{self, LockEdge};
+use crate::rules_overflow;
+use crate::syntax;
 
 /// How a file participates in analysis, derived from its path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -287,8 +290,11 @@ pub fn collect_pragmas(file: &SourceFile<'_>, diags: &mut Vec<Diagnostic>) -> Ve
 pub struct Report {
     /// All diagnostics after pragma suppression, canonically sorted.
     pub diagnostics: Vec<Diagnostic>,
-    /// Per-rule counts (all five rules present, zero included).
+    /// Per-rule counts (every rule present, zero included).
     pub counts: Vec<(RuleId, usize)>,
+    /// The interprocedural lock-order graph (C1's evidence), sorted by
+    /// `(from, to)`. Exported as DOT via `--lock-graph`.
+    pub lock_graph: Vec<LockEdge>,
 }
 
 impl Report {
@@ -332,9 +338,13 @@ pub fn analyze(root: &Path) -> Result<Report, String> {
         pragmas.extend(collect_pragmas(file, &mut diags));
         rules::check_nondeterminism(file, &mut diags);
         rules::check_panic_policy(file, &mut diags);
+        rules_overflow::check_overflow(file, &mut diags);
     }
     rules::check_metric_registry(root, &sources, &mut diags);
     rules::check_unsafe_hygiene(root, &sources, &mut diags);
+    let model = syntax::build(&sources);
+    let lock_graph = rules_conc::check_lock_order(&model, &sources, &mut diags);
+    rules_conc::check_atomics_registry(root, &model, &sources, &mut diags);
 
     // Pragma suppression: a diagnostic is dropped when a pragma in the
     // same file allows its rule on its line. Every pragma must earn its
@@ -375,7 +385,7 @@ pub fn analyze(root: &Path) -> Result<Report, String> {
         .iter()
         .map(|&r| (r, diags.iter().filter(|d| d.rule == r).count()))
         .collect();
-    Ok(Report { diagnostics: diags, counts })
+    Ok(Report { diagnostics: diags, counts, lock_graph })
 }
 
 #[cfg(test)]

@@ -90,7 +90,7 @@ impl<'a> Lexer<'a> {
                 b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
                 b'"' => self.string(),
                 b'\'' => self.char_or_lifetime(),
-                b'r' | b'b' => match self.raw_or_byte_prefix() {
+                b'r' | b'b' | b'c' => match self.raw_or_byte_prefix() {
                     Some(kind) => kind,
                     None => self.ident(),
                 },
@@ -225,15 +225,19 @@ impl<'a> Lexer<'a> {
         }
     }
 
-    /// At `r` or `b`: raw string (`r"`, `r#`), byte string (`b"`), byte
-    /// char (`b'`), raw byte string (`br`). Returns `None` when it is just
-    /// an identifier starting with r/b.
+    /// At `r`, `b`, or `c`: raw string (`r"`, `r#`), byte string (`b"`),
+    /// byte char (`b'`), raw byte string (`br`), C string (`c"`), raw C
+    /// string (`cr"`). A raw identifier (`r#type`) is consumed as a single
+    /// [`TokKind::Ident`] token. Returns `None` when it is just an ordinary
+    /// identifier starting with r/b/c.
     fn raw_or_byte_prefix(&mut self) -> Option<TokKind> {
         let b0 = self.src[self.pos];
         let (prefix_len, raw) = match (b0, self.peek(1), self.peek(2)) {
             (b'r', Some(b'"'), _) | (b'r', Some(b'#'), _) => (1, true),
-            (b'b', Some(b'r'), Some(b'"')) | (b'b', Some(b'r'), Some(b'#')) => (2, true),
-            (b'b', Some(b'"'), _) => (1, false),
+            (b'b' | b'c', Some(b'r'), Some(b'"')) | (b'b' | b'c', Some(b'r'), Some(b'#')) => {
+                (2, true)
+            }
+            (b'b' | b'c', Some(b'"'), _) => (1, false),
             (b'b', Some(b'\''), _) => {
                 // Byte char literal: b'x' or b'\n'
                 self.bump(); // b
@@ -249,7 +253,23 @@ impl<'a> Lexer<'a> {
                 hashes += 1;
             }
             if self.peek(prefix_len + hashes) != Some(b'"') {
-                return None; // r#foo raw identifier, not a string
+                // `r#foo`: a raw identifier, lexed as ONE Ident token whose
+                // text keeps the `r#` prefix (`r#type` never equals the
+                // keyword `type` in rule patterns, and never splits into
+                // `r` `#` `type` where the trailing part could collide
+                // with a pattern atom). `br#`/`cr#` without a quote have
+                // no raw-ident form; fall through to a plain ident.
+                if b0 == b'r' && hashes == 1 {
+                    let next = self.peek(2);
+                    if next.is_some_and(|b| {
+                        b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+                    }) {
+                        self.bump_n(2); // r#
+                        self.ident();
+                        return Some(TokKind::Ident);
+                    }
+                }
+                return None; // not a raw string after all
             }
             self.bump_n(prefix_len + hashes + 1);
             // Scan to closing quote followed by `hashes` hashes.
@@ -418,8 +438,69 @@ mod tests {
 
     #[test]
     fn unterminated_inputs_do_not_panic() {
-        for src in ["\"abc", "/* never closed", "r#\"raw", "'", "b'"] {
+        for src in ["\"abc", "/* never closed", "r#\"raw", "'", "b'", "c\"abc", "r#"] {
             let _ = lex(src);
+        }
+    }
+
+    #[test]
+    fn raw_identifiers_are_single_idents() {
+        let toks = kinds("let r#type = r#fn + r#match;");
+        assert!(toks.contains(&(TokKind::Ident, "r#type")));
+        assert!(toks.contains(&(TokKind::Ident, "r#fn")));
+        assert!(toks.contains(&(TokKind::Ident, "r#match")));
+        // The raw prefix must not split: no bare `type`/`fn` atoms that a
+        // rule pattern could accidentally match.
+        assert!(!toks.contains(&(TokKind::Ident, "type")));
+        assert!(!toks.contains(&(TokKind::Ident, "fn")));
+        assert!(!toks.iter().any(|(k, t)| *k == TokKind::Punct && *t == "#"));
+    }
+
+    #[test]
+    fn raw_ident_with_string_content_hides_nothing() {
+        // `r#unwrap` is an identifier, not a call to unwrap; and a raw
+        // string right after a raw ident still lexes as a string.
+        let toks = kinds(r##"let r#unwrap = r"text"; x"##);
+        assert!(toks.contains(&(TokKind::Ident, "r#unwrap")));
+        assert!(toks.iter().any(|(k, _)| *k == TokKind::RawStr));
+        assert!(toks.contains(&(TokKind::Ident, "x")));
+    }
+
+    #[test]
+    fn byte_and_c_string_literals() {
+        let toks = kinds(r#"let a = b"bytes"; let b = c"cstr"; y"#);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Str).count(), 2);
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Str && *t == "b\"bytes\""));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Str && *t == "c\"cstr\""));
+        assert!(toks.contains(&(TokKind::Ident, "y")));
+        // Code inside byte/C strings never leaks as idents.
+        let toks = kinds(r#"let s = c"Instant::now() .unwrap()"; ok"#);
+        assert!(!toks.iter().any(|(k, t)| *k == TokKind::Ident && *t == "unwrap"));
+        assert!(toks.contains(&(TokKind::Ident, "ok")));
+    }
+
+    #[test]
+    fn raw_byte_and_raw_c_strings() {
+        let toks = kinds(r###"let a = br#"raw " bytes"#; let b = cr#"raw " c"#; z"###);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::RawStr).count(), 2);
+        assert!(toks.contains(&(TokKind::Ident, "z")));
+    }
+
+    #[test]
+    fn static_lifetime_in_generic_position() {
+        let toks = kinds("fn f<T: Into<&'static str>>() -> &'static [u8] { g::<'static>() }");
+        assert_eq!(
+            toks.iter().filter(|(k, t)| *k == TokKind::Lifetime && *t == "'static").count(),
+            3
+        );
+        assert!(!toks.iter().any(|(k, _)| *k == TokKind::Char));
+    }
+
+    #[test]
+    fn plain_b_c_r_idents_are_untouched() {
+        let toks = kinds("let b = c + r; b.f(c)");
+        for name in ["b", "c", "r"] {
+            assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && *t == name));
         }
     }
 }

@@ -1,11 +1,12 @@
 //! `vmp-lint` — run the workspace static analyzer.
 //!
 //! ```text
-//! vmp-lint [--root PATH] [--json PATH] [--baseline PATH] [--write-baseline]
-//!          [--list-rules] [--quiet]
+//! vmp-lint [--root PATH] [--json PATH] [--baseline PATH]
+//!          [--overflow-baseline PATH] [--write-baseline]
+//!          [--lock-graph PATH] [--explain RULE] [--list-rules] [--quiet]
 //! ```
 //!
-//! Exit codes: 0 clean (after the D2 ratchet), 1 findings, 2 usage/IO
+//! Exit codes: 0 clean (after the D2/C3 ratchets), 1 findings, 2 usage/IO
 //! error. Output is canonically sorted; two runs over the same tree are
 //! byte-identical.
 
@@ -14,16 +15,30 @@
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 
-use vmp_lint::baseline::{self, Baseline};
+use vmp_lint::baseline::{self, Baseline, RatchetCheck};
 use vmp_lint::diag::{render_json, RuleId};
 use vmp_lint::engine::analyze;
+use vmp_lint::render_lock_graph_dot;
 
 struct Options {
     root: PathBuf,
     json: Option<PathBuf>,
     baseline: PathBuf,
+    overflow_baseline: PathBuf,
+    lock_graph: Option<PathBuf>,
     write_baseline: bool,
     quiet: bool,
+}
+
+fn explain(rule: RuleId) {
+    println!("{rule} — {}", rule.summary());
+    println!();
+    println!("why: {}", rule.rationale());
+    println!();
+    println!("fixes:");
+    for recipe in rule.recipes() {
+        println!("  - {recipe}");
+    }
 }
 
 fn parse_args() -> Result<Option<Options>, String> {
@@ -31,10 +46,13 @@ fn parse_args() -> Result<Option<Options>, String> {
         root: PathBuf::from("."),
         json: None,
         baseline: PathBuf::new(),
+        overflow_baseline: PathBuf::new(),
+        lock_graph: None,
         write_baseline: false,
         quiet: false,
     };
     let mut baseline_set = false;
+    let mut overflow_set = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -54,6 +72,25 @@ fn parse_args() -> Result<Option<Options>, String> {
                 );
                 baseline_set = true;
             }
+            "--overflow-baseline" => {
+                opts.overflow_baseline = PathBuf::from(
+                    args.next()
+                        .ok_or_else(|| "--overflow-baseline requires a path".to_string())?,
+                );
+                overflow_set = true;
+            }
+            "--lock-graph" => {
+                opts.lock_graph = Some(PathBuf::from(
+                    args.next().ok_or_else(|| "--lock-graph requires a path".to_string())?,
+                ))
+            }
+            "--explain" => {
+                let id = args.next().ok_or_else(|| "--explain requires a rule ID".to_string())?;
+                let rule = RuleId::parse(&id)
+                    .ok_or_else(|| format!("unknown rule `{id}` (try --list-rules)"))?;
+                explain(rule);
+                return Ok(None);
+            }
             "--write-baseline" => opts.write_baseline = true,
             "--quiet" | "-q" => opts.quiet = true,
             "--list-rules" => {
@@ -65,7 +102,8 @@ fn parse_args() -> Result<Option<Options>, String> {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: vmp-lint [--root PATH] [--json PATH] [--baseline PATH] \
-                     [--write-baseline] [--list-rules] [--quiet]"
+                     [--overflow-baseline PATH] [--write-baseline] [--lock-graph PATH] \
+                     [--explain RULE] [--list-rules] [--quiet]"
                 );
                 return Ok(None);
             }
@@ -74,6 +112,9 @@ fn parse_args() -> Result<Option<Options>, String> {
     }
     if !baseline_set {
         opts.baseline = opts.root.join("lint-baseline.json");
+    }
+    if !overflow_set {
+        opts.overflow_baseline = opts.root.join("lint-overflow-baseline.json");
     }
     Ok(Some(opts))
 }
@@ -88,25 +129,39 @@ fn main() {
     });
 }
 
+/// The two ratcheted rules and where their baselines live.
+struct Ratchet {
+    rule: RuleId,
+    path: PathBuf,
+    base: Baseline,
+    check: RatchetCheck,
+}
+
 fn run() -> Result<i32, String> {
     let Some(opts) = parse_args()? else { return Ok(0) };
     let report = analyze(&opts.root)?;
 
-    let per_file_d2: BTreeMap<String, usize> = report.per_file(RuleId::D2);
-    let base = Baseline::load(&opts.baseline)?;
-    let ratchet = baseline::check(&per_file_d2, &base);
-
-    if opts.write_baseline {
-        let new = Baseline { files: per_file_d2.clone() };
-        std::fs::write(&opts.baseline, new.render())
-            .map_err(|e| format!("cannot write {}: {e}", opts.baseline.display()))?;
-        if !opts.quiet {
-            println!(
-                "baseline written: {} D2 finding(s) across {} file(s)",
-                new.total(),
-                new.files.len()
-            );
+    let mut ratchets = Vec::new();
+    for (rule, path) in
+        [(RuleId::D2, opts.baseline.clone()), (RuleId::C3, opts.overflow_baseline.clone())]
+    {
+        let per_file: BTreeMap<String, usize> = report.per_file(rule);
+        let base = Baseline::load(&path)?;
+        let check = baseline::check(&per_file, &base);
+        if opts.write_baseline {
+            let new = Baseline { files: per_file };
+            std::fs::write(&path, new.render(rule.as_str()))
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            if !opts.quiet {
+                println!(
+                    "baseline written: {} {rule} finding(s) across {} file(s) -> {}",
+                    new.total(),
+                    new.files.len(),
+                    path.display()
+                );
+            }
         }
+        ratchets.push(Ratchet { rule, path, base, check });
     }
 
     if let Some(json_path) = &opts.json {
@@ -114,46 +169,73 @@ fn run() -> Result<i32, String> {
         std::fs::write(json_path, json)
             .map_err(|e| format!("cannot write {}: {e}", json_path.display()))?;
     }
+    if let Some(dot_path) = &opts.lock_graph {
+        std::fs::write(dot_path, render_lock_graph_dot(&report.lock_graph))
+            .map_err(|e| format!("cannot write {}: {e}", dot_path.display()))?;
+    }
 
-    // Hard-fail diagnostics: everything except baselined D2.
+    // Hard-fail diagnostics: everything except the ratcheted rules.
+    let ratcheted = [RuleId::D2, RuleId::C3];
     let hard: Vec<_> =
-        report.diagnostics.iter().filter(|d| d.rule != RuleId::D2).collect();
+        report.diagnostics.iter().filter(|d| !ratcheted.contains(&d.rule)).collect();
+    let mut regressions = 0usize;
     if !opts.quiet {
         for d in &hard {
             println!("{}", d.render());
         }
-        for (file, current, allowed) in &ratchet.regressions {
+    }
+    for r in &ratchets {
+        regressions += r.check.regressions.len();
+        if opts.quiet {
+            continue;
+        }
+        for (file, current, allowed) in &r.check.regressions {
             for d in report
                 .diagnostics
                 .iter()
-                .filter(|d| d.rule == RuleId::D2 && &d.file == file)
+                .filter(|d| d.rule == r.rule && &d.file == file)
             {
                 println!("{}", d.render());
             }
             println!(
-                "{file}: D2 ratchet violated: {current} finding(s), baseline allows {allowed}"
+                "{file}: {} ratchet violated: {current} finding(s), baseline allows {allowed}",
+                r.rule
             );
         }
+    }
+    if !opts.quiet {
         println!(
-            "vmp-lint: {} file-scope diagnostics ({}), D2 {} current / {} baselined / {} slack",
-            hard.len() + ratchet.regressions.len(),
+            "vmp-lint: {} hard diagnostics ({}), {}",
+            hard.len() + regressions,
             RuleId::ALL
                 .iter()
                 .map(|r| format!("{r}={}", report.count(*r)))
                 .collect::<Vec<_>>()
                 .join(" "),
-            report.count(RuleId::D2),
-            base.total(),
-            ratchet.slack,
+            ratchets
+                .iter()
+                .map(|r| format!(
+                    "{} {} current / {} baselined / {} slack",
+                    r.rule,
+                    report.count(r.rule),
+                    r.base.total(),
+                    r.check.slack
+                ))
+                .collect::<Vec<_>>()
+                .join(", "),
         );
-        if ratchet.slack > 0 && !opts.write_baseline {
-            println!(
-                "note: {} baselined finding(s) no longer exist — run with \
-                 --write-baseline to ratchet down",
-                ratchet.slack
-            );
+        for r in &ratchets {
+            if r.check.slack > 0 && !opts.write_baseline {
+                println!(
+                    "note: {} baselined {} finding(s) no longer exist — run with \
+                     --write-baseline to ratchet {} down",
+                    r.check.slack,
+                    r.rule,
+                    r.path.display()
+                );
+            }
         }
     }
 
-    Ok(if hard.is_empty() && ratchet.passed() { 0 } else { 1 })
+    Ok(if hard.is_empty() && ratchets.iter().all(|r| r.check.passed()) { 0 } else { 1 })
 }

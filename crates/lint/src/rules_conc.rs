@@ -1,0 +1,717 @@
+//! C1/C2 — the concurrency rules built on the [`crate::syntax`] model:
+//! an interprocedural lock-order graph that must stay acyclic, and the
+//! atomics registry cross-check against `crates/obs/ATOMICS.md`.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::path::Path;
+
+use crate::diag::{Diagnostic, RuleId};
+use crate::engine::{FileClass, SourceFile};
+use crate::syntax::{Model, LOCAL_ONLY_METHODS};
+
+/// One edge of the lock-order graph: `to` is acquired while `from` is
+/// held. Exported as DOT via `vmp-lint --lock-graph PATH`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LockEdge {
+    /// Lock held at the edge site.
+    pub from: String,
+    /// Lock acquired (possibly transitively) at the edge site.
+    pub to: String,
+    /// Workspace-relative file of the inner acquisition/call.
+    pub file: String,
+    /// 1-based line of the site.
+    pub line: u32,
+    /// 1-based column of the site.
+    pub col: u32,
+    /// Qualified name of the callee the edge goes through, when the
+    /// inner lock is reached by a call rather than acquired inline.
+    pub via: Option<String>,
+}
+
+/// Renders the lock-order graph as deterministic Graphviz DOT.
+pub fn render_lock_graph_dot(edges: &[LockEdge]) -> String {
+    let mut out = String::from("digraph lock_order {\n  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n");
+    let mut nodes: BTreeSet<&str> = BTreeSet::new();
+    for e in edges {
+        nodes.insert(&e.from);
+        nodes.insert(&e.to);
+    }
+    for n in nodes {
+        out.push_str(&format!("  \"{n}\";\n"));
+    }
+    for e in edges {
+        let mut label = format!("{}:{}", e.file, e.line);
+        if let Some(via) = &e.via {
+            label.push_str(&format!("\\nvia {via}"));
+        }
+        out.push_str(&format!("  \"{}\" -> \"{}\" [label=\"{}\"];\n", e.from, e.to, label));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Whether a fn participates in C1/C2 (non-test code only: test-only
+/// locks like serialization guards must not constrain production order).
+fn fn_live(model: &Model, sources: &[SourceFile<'_>], id: usize) -> bool {
+    let f = &model.fns[id];
+    let src = &sources[f.file];
+    src.class != FileClass::TestOrBench && !src.in_test[f.name_tok]
+}
+
+/// Resolves one call to candidate fn ids.
+///
+/// * `Qual::name(...)` path calls resolve against the qualifier only:
+///   impl blocks labeled `Qual`, else files whose module stem or crate
+///   directory matches `Qual` (the `vmp_` crate prefix is stripped).
+///   No workspace-wide fallback — `Vec::new()` must not fan out to every
+///   user `fn new`.
+/// * `Self::name(...)` and std-vocabulary names (collections, iterators,
+///   atomics: see [`LOCAL_ONLY_METHODS`]) resolve within the calling file
+///   only — and as method calls only on a `self` receiver, so a guard's
+///   `.push(..)` or an atomic's `.load(..)` never binds to a same-named
+///   user fn.
+/// * everything else — plain free calls and distinctive method names —
+///   resolves workspace-wide by simple name (the safe over-approximation).
+fn resolve_call(
+    model: &Model,
+    sources: &[SourceFile<'_>],
+    caller_file: usize,
+    call: &crate::syntax::Call,
+) -> Vec<usize> {
+    let name = call.name.as_str();
+    let Some(cands) = model.by_name.get(name) else { return Vec::new() };
+    let live: Vec<usize> =
+        cands.iter().copied().filter(|&id| fn_live(model, sources, id)).collect();
+    if let Some(q) = &call.path {
+        if q == "Self" || q == "self" {
+            return live.into_iter().filter(|&id| model.fns[id].file == caller_file).collect();
+        }
+        let impl_suffix = format!("::{q}::{name}");
+        let by_label: Vec<usize> = live
+            .iter()
+            .copied()
+            .filter(|&id| model.fns[id].qual.ends_with(&impl_suffix))
+            .collect();
+        if !by_label.is_empty() {
+            return by_label;
+        }
+        let q_base = q.strip_prefix("vmp_").unwrap_or(q);
+        return live
+            .into_iter()
+            .filter(|&id| {
+                let f = model.fns[id].file;
+                model.stems[f] == *q
+                    || model.stems[f] == q_base
+                    || model.crate_dirs[f] == *q
+                    || model.crate_dirs[f] == q_base
+            })
+            .collect();
+    }
+    if LOCAL_ONLY_METHODS.contains(&name) {
+        if call.method && !call.recv_self {
+            return Vec::new();
+        }
+        return live.into_iter().filter(|&id| model.fns[id].file == caller_file).collect();
+    }
+    live
+}
+
+/// C1 — lock-order acyclicity.
+///
+/// Builds "acquired-while-held" edges from every live fn: an acquisition
+/// inside another guard's held region is a direct edge; a call inside a
+/// held region fans out to everything the callee may (transitively)
+/// acquire. Any lock reachable from itself is a deadlock-capable cycle,
+/// reported at every edge that closes it. Returns the full edge list for
+/// DOT export.
+pub fn check_lock_order(
+    model: &Model,
+    sources: &[SourceFile<'_>],
+    diags: &mut Vec<Diagnostic>,
+) -> Vec<LockEdge> {
+    let live: Vec<bool> = (0..model.fns.len()).map(|id| fn_live(model, sources, id)).collect();
+
+    // Resolved call graph (fn id -> callee ids), deterministic order.
+    let callees: Vec<Vec<usize>> = model
+        .fns
+        .iter()
+        .enumerate()
+        .map(|(id, f)| {
+            if !live[id] {
+                return Vec::new();
+            }
+            let mut out: Vec<usize> = f
+                .calls
+                .iter()
+                .flat_map(|c| resolve_call(model, sources, f.file, c))
+                .collect();
+            out.sort_unstable();
+            out.dedup();
+            out
+        })
+        .collect();
+
+    // May-acquire fixpoint: locks a fn can take directly or transitively.
+    let mut may: Vec<BTreeSet<String>> = model
+        .fns
+        .iter()
+        .enumerate()
+        .map(|(id, f)| {
+            if live[id] {
+                f.acquires.iter().map(|a| a.lock.clone()).collect()
+            } else {
+                BTreeSet::new()
+            }
+        })
+        .collect();
+    loop {
+        let mut changed = false;
+        for id in 0..model.fns.len() {
+            for &g in &callees[id] {
+                if g == id {
+                    continue;
+                }
+                let extra: Vec<String> =
+                    may[g].iter().filter(|l| !may[id].contains(*l)).cloned().collect();
+                if !extra.is_empty() {
+                    may[id].extend(extra);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Edge construction.
+    let mut edges: BTreeMap<(String, String), LockEdge> = BTreeMap::new();
+    let mut add_edge = |e: LockEdge| {
+        let key = (e.from.clone(), e.to.clone());
+        let existing = edges.get(&key);
+        let better = match existing {
+            None => true,
+            Some(old) => (e.file.as_str(), e.line, e.col) < (old.file.as_str(), old.line, old.col),
+        };
+        if better {
+            edges.insert(key, e);
+        }
+    };
+    for (id, f) in model.fns.iter().enumerate() {
+        if !live[id] {
+            continue;
+        }
+        let src = &sources[f.file];
+        for a in &f.acquires {
+            for b in &f.acquires {
+                if a.tok < b.tok && b.tok <= a.hold_end {
+                    let t = &src.toks[b.tok];
+                    add_edge(LockEdge {
+                        from: a.lock.clone(),
+                        to: b.lock.clone(),
+                        file: src.rel.clone(),
+                        line: t.line,
+                        col: t.col,
+                        via: None,
+                    });
+                }
+            }
+            for c in &f.calls {
+                if !(a.tok < c.tok && c.tok <= a.hold_end) {
+                    continue;
+                }
+                for g in resolve_call(model, sources, f.file, c) {
+                    for lock in &may[g] {
+                        let t = &src.toks[c.tok];
+                        add_edge(LockEdge {
+                            from: a.lock.clone(),
+                            to: lock.clone(),
+                            file: src.rel.clone(),
+                            line: t.line,
+                            col: t.col,
+                            via: Some(model.fns[g].qual.clone()),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    let edges: Vec<LockEdge> = edges.into_values().collect();
+
+    // Self-edges: re-acquisition of a held (non-reentrant) lock.
+    for e in &edges {
+        if e.from == e.to {
+            let via = e.via.as_ref().map_or(String::new(), |v| format!(" (via `{v}`)"));
+            diags.push(Diagnostic::new(
+                RuleId::C1,
+                e.file.clone(),
+                e.line,
+                e.col,
+                format!(
+                    "lock `{}` may be re-acquired here while already held{via} — \
+                     a self-deadlock on a non-reentrant lock",
+                    e.from
+                ),
+            ));
+        }
+    }
+
+    // Cycle detection: an edge a->b is part of a cycle iff a is reachable
+    // from b. The graph is tiny, so per-node BFS is plenty.
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for e in &edges {
+        if e.from != e.to {
+            adj.entry(e.from.as_str()).or_default().push(e.to.as_str());
+        }
+    }
+    let reaches = |from: &str, target: &str| -> bool {
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        let mut queue: VecDeque<&str> = VecDeque::new();
+        queue.push_back(from);
+        while let Some(n) = queue.pop_front() {
+            if n == target {
+                return true;
+            }
+            if !seen.insert(n) {
+                continue;
+            }
+            if let Some(next) = adj.get(n) {
+                queue.extend(next.iter().copied());
+            }
+        }
+        false
+    };
+    for e in &edges {
+        if e.from != e.to && reaches(&e.to, &e.from) {
+            let via = e.via.as_ref().map_or(String::new(), |v| format!(" via `{v}`"));
+            diags.push(Diagnostic::new(
+                RuleId::C1,
+                e.file.clone(),
+                e.line,
+                e.col,
+                format!(
+                    "lock-order cycle: `{}` is acquired here{via} while `{}` is held, \
+                     but elsewhere `{}` is acquired while `{}` is held — pick one \
+                     canonical order",
+                    e.to, e.from, e.from, e.to
+                ),
+            ));
+        }
+    }
+    edges
+}
+
+/// Where the atomics registry lives.
+pub const ATOMICS_REGISTRY_REL: &str = "crates/obs/ATOMICS.md";
+
+/// One ordering discipline: `(name, allowed loads, allowed stores,
+/// allowed read-modify-writes)`.
+pub type Discipline =
+    (&'static str, &'static [&'static str], &'static [&'static str], &'static [&'static str]);
+
+/// Ordering disciplines. `compare_exchange` failure orderings are checked
+/// against the load set.
+pub const DISCIPLINES: &[Discipline] = &[
+    ("relaxed-counter", &["Relaxed"], &["Relaxed"], &["Relaxed"]),
+    ("relaxed-flag", &["Relaxed"], &["Relaxed"], &["Relaxed"]),
+    ("relaxed-config", &["Relaxed"], &["Relaxed"], &["Relaxed"]),
+    ("monotonic-cut", &["Relaxed"], &["Relaxed"], &["Relaxed"]),
+    ("acquire-release-publication", &["Acquire"], &["Release"], &["AcqRel"]),
+    ("seqcst", &["SeqCst"], &["SeqCst"], &["SeqCst"]),
+];
+
+#[derive(Debug)]
+struct RegistryRow {
+    ty: String,
+    discipline: String,
+    line: u32,
+    used: bool,
+}
+
+/// C2 — atomics registry, checked both directions.
+///
+/// Every atomic field/static declared in library code must have a row in
+/// `crates/obs/ATOMICS.md` naming its ordering discipline; every
+/// `Ordering::*` call site on that field must conform to the discipline;
+/// and every registry row must still correspond to a declared field.
+pub fn check_atomics_registry(
+    root: &Path,
+    model: &Model,
+    sources: &[SourceFile<'_>],
+    diags: &mut Vec<Diagnostic>,
+) {
+    let live_lib = |file: usize, tok: usize| -> bool {
+        sources[file].class == FileClass::Lib && !sources[file].in_test[tok]
+    };
+    let decls: Vec<&crate::syntax::AtomicDecl> =
+        model.atomics.iter().filter(|a| live_lib(a.file, a.tok)).collect();
+    let ops: Vec<&crate::syntax::AtomicOp> =
+        model.atomic_ops.iter().filter(|o| live_lib(o.file, o.tok)).collect();
+    if decls.is_empty() && ops.is_empty() {
+        return; // nothing to register; a missing file is fine
+    }
+
+    let registry_text = match std::fs::read_to_string(root.join(ATOMICS_REGISTRY_REL)) {
+        Ok(t) => t,
+        Err(_) => {
+            diags.push(Diagnostic::new(
+                RuleId::C2,
+                ATOMICS_REGISTRY_REL,
+                1,
+                1,
+                "atomics registry crates/obs/ATOMICS.md is missing".to_string(),
+            ));
+            return;
+        }
+    };
+
+    // Parse `| `key` | type | discipline | description |` rows; rows whose
+    // key cell is not backticked are headers/separators.
+    let mut registry: BTreeMap<String, RegistryRow> = BTreeMap::new();
+    for (lineno, line) in registry_text.lines().enumerate() {
+        let line = line.trim();
+        if !line.starts_with('|') {
+            continue;
+        }
+        let cells: Vec<&str> = line.trim_matches('|').split('|').map(str::trim).collect();
+        let [key_cell, ty_cell, disc_cell, ..] = cells.as_slice() else { continue };
+        let key = key_cell.trim_matches('`');
+        if key.is_empty() || *key_cell == key {
+            continue;
+        }
+        let lineno = lineno as u32 + 1;
+        if !DISCIPLINES.iter().any(|(d, ..)| d == disc_cell) {
+            diags.push(Diagnostic::new(
+                RuleId::C2,
+                ATOMICS_REGISTRY_REL,
+                lineno,
+                1,
+                format!(
+                    "unknown ordering discipline `{disc_cell}` for `{key}` (known: {})",
+                    DISCIPLINES.iter().map(|(d, ..)| *d).collect::<Vec<_>>().join(", ")
+                ),
+            ));
+            continue;
+        }
+        if registry.contains_key(key) {
+            diags.push(Diagnostic::new(
+                RuleId::C2,
+                ATOMICS_REGISTRY_REL,
+                lineno,
+                1,
+                format!("duplicate registry entry `{key}`"),
+            ));
+        } else {
+            registry.insert(
+                key.to_string(),
+                RegistryRow {
+                    ty: (*ty_cell).to_string(),
+                    discipline: (*disc_cell).to_string(),
+                    line: lineno,
+                    used: false,
+                },
+            );
+        }
+    }
+
+    // Direction 1: every declared atomic is registered, with its type.
+    let mut declared_keys: BTreeSet<&str> = BTreeSet::new();
+    for d in &decls {
+        declared_keys.insert(d.key.as_str());
+        let src = &sources[d.file];
+        let t = &src.toks[d.tok];
+        match registry.get_mut(&d.key) {
+            None => diags.push(Diagnostic::new(
+                RuleId::C2,
+                src.rel.clone(),
+                t.line,
+                t.col,
+                format!(
+                    "atomic field `{}` ({}) is not registered in crates/obs/ATOMICS.md \
+                     — add a row naming its ordering discipline",
+                    d.key, d.ty
+                ),
+            )),
+            Some(row) => {
+                row.used = true;
+                if !row.ty.contains(&d.ty) {
+                    diags.push(Diagnostic::new(
+                        RuleId::C2,
+                        ATOMICS_REGISTRY_REL,
+                        row.line,
+                        1,
+                        format!(
+                            "registry entry `{}` declares type `{}` but the field is `{}`",
+                            d.key, row.ty, d.ty
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    // Direction 2: no stale registry rows.
+    for (key, row) in &registry {
+        if !row.used {
+            diags.push(Diagnostic::new(
+                RuleId::C2,
+                ATOMICS_REGISTRY_REL,
+                row.line,
+                1,
+                format!("registry entry `{key}` matches no declared atomic field"),
+            ));
+        }
+    }
+
+    // Call-site conformance.
+    for op in &ops {
+        let src = &sources[op.file];
+        let t = &src.toks[op.tok];
+        let Some(key) = &op.key else {
+            // A lowercase receiver is a local borrow/clone of a field
+            // (iteration variables, moved Arc clones) whose declared sites
+            // are checked directly; only static-looking receivers must
+            // resolve.
+            if !op.recv.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+                continue;
+            }
+            diags.push(Diagnostic::new(
+                RuleId::C2,
+                src.rel.clone(),
+                t.line,
+                t.col,
+                format!(
+                    "atomic `{}` on `{}` does not resolve to a declared atomic field — \
+                     declare the field with an explicit atomic type so its discipline \
+                     is checkable",
+                    op.op, op.recv
+                ),
+            ));
+            continue;
+        };
+        let Some(row) = registry.get(key) else {
+            continue; // already reported at the declaration
+        };
+        let Some((_, loads, stores, rmws)) =
+            DISCIPLINES.iter().find(|(d, ..)| *d == row.discipline)
+        else {
+            continue; // unknown discipline already reported at the row
+        };
+        let ord = op.ordering.as_str();
+        let allowed = match op.op.as_str() {
+            "load" => loads.contains(&ord),
+            "store" => stores.contains(&ord),
+            op if op.starts_with("compare_exchange") || op == "fetch_update" => {
+                rmws.contains(&ord) || loads.contains(&ord)
+            }
+            _ => rmws.contains(&ord),
+        };
+        if !allowed {
+            diags.push(Diagnostic::new(
+                RuleId::C2,
+                src.rel.clone(),
+                t.line,
+                t.col,
+                format!(
+                    "`{}` is registered as `{}` but `{}` here uses Ordering::{} — \
+                     update the call site or the registry discipline",
+                    key, row.discipline, op.op, op.ordering
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::test_regions;
+    use crate::lexer::lex;
+    use crate::syntax::build;
+
+    fn file<'a>(rel: &str, src: &'a str) -> SourceFile<'a> {
+        let toks = lex(src);
+        let in_test = test_regions(&toks);
+        SourceFile { rel: rel.to_string(), class: FileClass::Lib, toks, in_test }
+    }
+
+    #[test]
+    fn direct_nesting_makes_an_edge_and_opposite_order_a_cycle() {
+        let src = "struct S { a: Mutex<u32>, b: Mutex<u32> }\n\
+                   impl S {\n\
+                     fn ab(&self) { let g = self.a.lock(); let h = self.b.lock(); }\n\
+                     fn ba(&self) { let g = self.b.lock(); let h = self.a.lock(); }\n\
+                   }";
+        let f = file("crates/x/src/pair.rs", src);
+        let files = [f];
+        let model = build(&files);
+        let mut diags = Vec::new();
+        let edges = check_lock_order(&model, &files, &mut diags);
+        assert_eq!(edges.len(), 2);
+        assert_eq!(diags.len(), 2, "both closing edges report the cycle: {diags:?}");
+        assert!(diags.iter().all(|d| d.rule == RuleId::C1));
+        assert!(diags[0].message.contains("cycle"));
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let src = "struct S { a: Mutex<u32>, b: Mutex<u32> }\n\
+                   impl S {\n\
+                     fn ab(&self) { let g = self.a.lock(); let h = self.b.lock(); }\n\
+                     fn ab2(&self) { let g = self.a.lock(); let h = self.b.lock(); }\n\
+                   }";
+        let f = file("crates/x/src/pair.rs", src);
+        let files = [f];
+        let model = build(&files);
+        let mut diags = Vec::new();
+        let edges = check_lock_order(&model, &files, &mut diags);
+        assert_eq!(edges.len(), 1);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn interprocedural_cycle_through_a_call() {
+        let src = "struct S { a: Mutex<u32>, b: Mutex<u32> }\n\
+                   impl S {\n\
+                     fn take_b(&self) { let g = self.b.lock(); }\n\
+                     fn ab(&self) { let g = self.a.lock(); self.take_b(); }\n\
+                     fn ba(&self) { let g = self.b.lock(); let h = self.a.lock(); }\n\
+                   }";
+        let f = file("crates/x/src/indirect.rs", src);
+        let files = [f];
+        let model = build(&files);
+        let mut diags = Vec::new();
+        check_lock_order(&model, &files, &mut diags);
+        assert!(
+            diags.iter().any(|d| d.message.contains("cycle") && d.message.contains("via")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn reacquisition_is_a_self_edge() {
+        let src = "struct S { a: Mutex<u32> }\n\
+                   impl S { fn f(&self) { let g = self.a.lock(); let h = self.a.lock(); } }";
+        let f = file("crates/x/src/re.rs", src);
+        let files = [f];
+        let model = build(&files);
+        let mut diags = Vec::new();
+        check_lock_order(&model, &files, &mut diags);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("re-acquired"), "{diags:?}");
+    }
+
+    #[test]
+    fn statement_scoped_guard_does_not_leak_an_edge() {
+        // The temporary guard from `*self.a.lock() += 1;` dies at the `;`,
+        // so the later b acquisition is NOT under a.
+        let src = "struct S { a: Mutex<u32>, b: Mutex<u32> }\n\
+                   impl S {\n\
+                     fn f(&self) { *self.a.lock() += 1; let g = self.b.lock(); }\n\
+                     fn g(&self) { *self.b.lock() += 1; let g = self.a.lock(); }\n\
+                   }";
+        let f = file("crates/x/src/scoped.rs", src);
+        let files = [f];
+        let model = build(&files);
+        let mut diags = Vec::new();
+        let edges = check_lock_order(&model, &files, &mut diags);
+        assert!(edges.is_empty(), "{edges:?}");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn test_only_locks_are_ignored() {
+        let src = "#[cfg(test)]\nmod tests {\n\
+                   struct S { a: Mutex<u32>, b: Mutex<u32> }\n\
+                   impl S { fn ba(&self) { let g = self.b.lock(); let h = self.a.lock(); } }\n}";
+        let f = file("crates/x/src/t.rs", src);
+        let files = [f];
+        let model = build(&files);
+        let mut diags = Vec::new();
+        let edges = check_lock_order(&model, &files, &mut diags);
+        assert!(edges.is_empty());
+        assert!(diags.is_empty());
+    }
+
+    #[test]
+    fn dot_render_is_deterministic() {
+        let edges = vec![
+            LockEdge {
+                from: "a.x".into(),
+                to: "b.y".into(),
+                file: "f.rs".into(),
+                line: 3,
+                col: 1,
+                via: Some("m::g".into()),
+            },
+            LockEdge {
+                from: "b.y".into(),
+                to: "a.x".into(),
+                file: "g.rs".into(),
+                line: 9,
+                col: 2,
+                via: None,
+            },
+        ];
+        let dot = render_lock_graph_dot(&edges);
+        assert!(dot.starts_with("digraph lock_order {"));
+        assert!(dot.contains("\"a.x\" -> \"b.y\" [label=\"f.rs:3\\nvia m::g\"];"));
+        assert_eq!(dot, render_lock_graph_dot(&edges));
+    }
+
+    fn run_c2(src: &str, registry: &str) -> Vec<Diagnostic> {
+        let dir = std::env::temp_dir().join(format!(
+            "vmp-lint-c2-{}-{}",
+            std::process::id(),
+            src.len() + registry.len()
+        ));
+        let _ = std::fs::create_dir_all(dir.join("crates/obs"));
+        std::fs::write(dir.join("crates/obs/ATOMICS.md"), registry).expect("write registry");
+        let f = file("crates/x/src/atom.rs", src);
+        let files = [f];
+        let model = build(&files);
+        let mut diags = Vec::new();
+        check_atomics_registry(&dir, &model, &files, &mut diags);
+        let _ = std::fs::remove_dir_all(&dir);
+        diags
+    }
+
+    const ATOM_SRC: &str = "struct C { n: AtomicU64 }\n\
+        impl C { fn bump(&self) { self.n.fetch_add(1, Ordering::Relaxed); } }";
+
+    #[test]
+    fn registered_matching_discipline_is_clean() {
+        let reg = "| key | type | discipline | description |\n|---|---|---|---|\n\
+                   | `atom.n` | AtomicU64 | relaxed-counter | test counter |\n";
+        let diags = run_c2(ATOM_SRC, reg);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn unregistered_field_and_stale_row_both_fire() {
+        let reg = "| key | type | discipline | description |\n|---|---|---|---|\n\
+                   | `atom.gone` | AtomicBool | relaxed-flag | no longer exists |\n";
+        let diags = run_c2(ATOM_SRC, reg);
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags.iter().any(|d| d.message.contains("not registered")));
+        assert!(diags.iter().any(|d| d.message.contains("matches no declared")));
+    }
+
+    #[test]
+    fn discipline_mismatch_fires_at_call_site() {
+        let reg = "| key | type | discipline | description |\n|---|---|---|---|\n\
+                   | `atom.n` | AtomicU64 | acquire-release-publication | published |\n";
+        let diags = run_c2(ATOM_SRC, reg);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("Ordering::Relaxed"));
+        assert_eq!(diags[0].file, "crates/x/src/atom.rs");
+    }
+
+    #[test]
+    fn unknown_discipline_is_an_error() {
+        let reg = "| key | type | discipline | description |\n|---|---|---|---|\n\
+                   | `atom.n` | AtomicU64 | vibes | whatever |\n";
+        let diags = run_c2(ATOM_SRC, reg);
+        assert!(diags.iter().any(|d| d.message.contains("unknown ordering discipline")));
+    }
+}

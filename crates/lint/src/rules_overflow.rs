@@ -1,0 +1,136 @@
+//! C3 — overflow/truncation policy for library code.
+//!
+//! Row and byte counters scale with `--scale`: a lossy `as` cast or an
+//! unchecked `+=`/`*=` that is fine on the quick profile silently wraps
+//! at full scale. Two patterns are flagged:
+//!
+//! * `as u8|u16|u32|i8|i16|i32` — narrowing casts (widening casts to
+//!   64-bit types are lossless on every supported target and stay legal);
+//! * `+=` / `*=` on counter-named lvalues (`seen`, `total_bytes`,
+//!   `row_count`, ...) — accumulation that should be `checked_add`,
+//!   `saturating_add`, or carry a proof pragma.
+//!
+//! Existing findings are grandfathered per-file in
+//! `lint-overflow-baseline.json` with the same ratchet protocol as D2.
+
+use crate::diag::{Diagnostic, RuleId};
+use crate::engine::{FileClass, SourceFile};
+use crate::lexer::TokKind;
+
+/// Narrow integer targets whose `as` casts can drop bits.
+const NARROW_TARGETS: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Counter vocabulary: exact names and suffixes that denote a quantity
+/// growing with input size.
+fn is_counter_name(s: &str) -> bool {
+    const EXACT: [&str; 8] = ["seen", "kept", "dropped", "total", "bytes", "rows", "count", "sum"];
+    const SUFFIX: [&str; 8] =
+        ["_seen", "_kept", "_dropped", "_total", "_bytes", "_rows", "_count", "_sum"];
+    EXACT.contains(&s) || SUFFIX.iter().any(|suf| s.ends_with(suf))
+}
+
+/// C3 — flags lossy casts and unchecked counter accumulation in library
+/// code (outside `#[cfg(test)]` regions).
+pub fn check_overflow(file: &SourceFile<'_>, diags: &mut Vec<Diagnostic>) {
+    if file.class != FileClass::Lib {
+        return;
+    }
+    let code: Vec<usize> = (0..file.toks.len()).filter(|&i| file.toks[i].is_code()).collect();
+    let text = |ci: usize| -> &str { code.get(ci).map_or("", |&ti| file.toks[ti].text) };
+    let kind = |ci: usize| -> Option<TokKind> { code.get(ci).map(|&ti| file.toks[ti].kind) };
+    for (ci, &ti) in code.iter().enumerate() {
+        if file.in_test[ti] {
+            continue;
+        }
+        let t = &file.toks[ti];
+        if t.kind == TokKind::Ident && t.text == "as" {
+            let target = text(ci + 1);
+            if NARROW_TARGETS.contains(&target) {
+                diags.push(Diagnostic::new(
+                    RuleId::C3,
+                    file.rel.clone(),
+                    t.line,
+                    t.col,
+                    format!(
+                        "lossy `as {target}` cast in library code — use \
+                         {target}::try_from and handle the Err, or prove the bound"
+                    ),
+                ));
+            }
+        }
+        if t.kind == TokKind::Ident
+            && is_counter_name(t.text)
+            && ((text(ci + 1) == "+" && text(ci + 2) == "=")
+                || (text(ci + 1) == "*" && text(ci + 2) == "="))
+            && kind(ci + 3).is_some()
+            && text(ci + 3) != "="
+        {
+            let op = if text(ci + 1) == "+" { "+=" } else { "*=" };
+            diags.push(Diagnostic::new(
+                RuleId::C3,
+                file.rel.clone(),
+                t.line,
+                t.col,
+                format!(
+                    "unchecked `{op}` on counter `{}` — counters scale with input \
+                     size; use checked_add/saturating_add or prove the bound",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::test_regions;
+    use crate::lexer::lex;
+
+    fn file<'a>(rel: &str, class: FileClass, src: &'a str) -> SourceFile<'a> {
+        let toks = lex(src);
+        let in_test = test_regions(&toks);
+        SourceFile { rel: rel.to_string(), class, toks, in_test }
+    }
+
+    #[test]
+    fn narrowing_cast_flagged_widening_not() {
+        let src = "fn f(x: u64) -> u32 { let _ = x as u64; let _ = x as f64; x as u32 }";
+        let mut diags = Vec::new();
+        check_overflow(&file("crates/x/src/a.rs", FileClass::Lib, src), &mut diags);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("as u32"));
+    }
+
+    #[test]
+    fn counter_compound_assign_flagged() {
+        let src = "fn f(n: u64) { let mut total_bytes = 0u64; total_bytes += n; \
+                   let mut idx = 0; idx += 1; }";
+        let mut diags = Vec::new();
+        check_overflow(&file("crates/x/src/a.rs", FileClass::Lib, src), &mut diags);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("total_bytes"));
+    }
+
+    #[test]
+    fn comparisons_and_plain_adds_not_flagged() {
+        let src = "fn f(total: u64, n: u64) -> bool { total + n > 4 && total == n }";
+        let mut diags = Vec::new();
+        check_overflow(&file("crates/x/src/a.rs", FileClass::Lib, src), &mut diags);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn tests_and_bins_exempt() {
+        let src = "fn f(x: u64) -> u8 { x as u8 }";
+        let mut diags = Vec::new();
+        check_overflow(&file("crates/x/src/bin/m.rs", FileClass::BinEntry, src), &mut diags);
+        check_overflow(&file("crates/x/tests/t.rs", FileClass::TestOrBench, src), &mut diags);
+        assert!(diags.is_empty());
+
+        let src = "#[cfg(test)]\nmod tests { fn f(x: u64) -> u8 { x as u8 } }";
+        let mut diags = Vec::new();
+        check_overflow(&file("crates/x/src/a.rs", FileClass::Lib, src), &mut diags);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

@@ -1,0 +1,338 @@
+//! Exhaustive schedule exploration for small concurrent protocols.
+//!
+//! The static side of the concurrency gate (C1/C2) proves shape
+//! properties — acyclic lock order, declared ordering disciplines. This
+//! module is the dynamic side: a tiny stateless-model-checking harness
+//! that enumerates **every** interleaving of 2–3 modeled threads over a
+//! shimmed atomics API, so protocol arguments like "a stale relaxed cut
+//! is a valid historical cut" become exhaustively tested invariants
+//! instead of comments.
+//!
+//! The design is the classic trail-based DFS: a test closure runs the
+//! whole scenario from scratch, asking the [`Sched`] for every
+//! nondeterministic decision (which runnable thread steps next, which
+//! coherence-permitted value a relaxed load returns). The first run takes
+//! branch 0 everywhere and records how many alternatives each decision
+//! had; [`explore`] then backtracks depth-first until the full tree is
+//! exhausted. Scenarios stay tractable because threads are short (a
+//! handful of steps) and `choose(1)` points are free.
+//!
+//! The memory model for [`RelaxedCell`] is coherence-without-
+//! synchronization: every store appends to a global history, and a
+//! relaxed load may return any value from the loader's last-seen index
+//! onward (per-location coherence keeps each thread's view monotone, but
+//! threads need not agree). Read-modify-writes are atomic on the latest
+//! value, matching real `fetch_*` semantics.
+
+/// The decision oracle handed to a scenario closure. Every source of
+/// nondeterminism must flow through [`Sched::choose`].
+#[derive(Debug)]
+pub struct Sched {
+    trail: Vec<u32>,
+    limits: Vec<u32>,
+    pos: usize,
+}
+
+/// Hard cap on decision points per run: a scenario that trips this is
+/// far beyond exhaustive-enumeration scale and almost certainly buggy.
+const MAX_DECISIONS: usize = 4096;
+
+impl Sched {
+    /// Picks one of `n` alternatives. Deterministic replay of the current
+    /// trail, then first-alternative for fresh decisions. `n == 1` (or 0)
+    /// is free: no decision point is recorded.
+    pub fn choose(&mut self, n: usize) -> usize {
+        if n <= 1 {
+            return 0;
+        }
+        assert!(self.limits.len() < MAX_DECISIONS, "scenario exceeds {MAX_DECISIONS} decisions");
+        let n = u32::try_from(n).unwrap_or(u32::MAX);
+        let pick = if self.pos < self.trail.len() {
+            let c = self.trail[self.pos];
+            assert!(c < n, "schedule replay diverged: trail {c} out of {n} alternatives");
+            c
+        } else {
+            self.trail.push(0);
+            0
+        };
+        self.limits.push(n);
+        self.pos += 1;
+        pick as usize
+    }
+}
+
+/// Runs `scenario` under every possible decision sequence and returns the
+/// number of schedules explored. The scenario must be deterministic given
+/// its `Sched` (no ambient clocks, no OS threads) — each call rebuilds the
+/// model state from scratch.
+pub fn explore<F: FnMut(&mut Sched)>(mut scenario: F) -> u64 {
+    let mut trail: Vec<u32> = Vec::new();
+    let mut runs = 0u64;
+    loop {
+        let mut s = Sched { trail, limits: Vec::new(), pos: 0 };
+        scenario(&mut s);
+        runs += 1;
+        trail = s.trail;
+        let limits = s.limits;
+        // Depth-first backtrack: bump the deepest decision that still has
+        // an untaken alternative, discarding everything below it.
+        let mut advanced = false;
+        while let Some(last) = trail.pop() {
+            let lim = limits[trail.len()];
+            if last + 1 < lim {
+                trail.push(last + 1);
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            return runs;
+        }
+    }
+}
+
+/// A modeled relaxed atomic cell (`AtomicU64`-shaped). Loads may return
+/// stale values subject to per-thread coherence; stores and RMWs always
+/// act on the newest value.
+#[derive(Debug)]
+pub struct RelaxedCell {
+    hist: Vec<u64>,
+    last_seen: Vec<usize>,
+}
+
+impl RelaxedCell {
+    /// A cell with initial value `v`, visible to `threads` model threads.
+    pub fn new(threads: usize, v: u64) -> RelaxedCell {
+        RelaxedCell { hist: vec![v], last_seen: vec![0; threads] }
+    }
+
+    /// A relaxed load by `tid`: any value from the thread's last-seen
+    /// store onward, chosen by the explorer.
+    pub fn load(&mut self, tid: usize, s: &mut Sched) -> u64 {
+        let lo = self.last_seen[tid];
+        let idx = lo + s.choose(self.hist.len() - lo);
+        self.last_seen[tid] = idx;
+        self.hist[idx]
+    }
+
+    /// A relaxed store by `tid`.
+    pub fn store(&mut self, tid: usize, v: u64) {
+        self.hist.push(v);
+        self.last_seen[tid] = self.hist.len() - 1;
+    }
+
+    /// Atomic `fetch_add`: reads the newest value, returns it, stores the
+    /// sum (RMWs cannot act on stale values).
+    pub fn fetch_add(&mut self, tid: usize, v: u64) -> u64 {
+        let cur = self.latest();
+        self.store(tid, cur.wrapping_add(v));
+        cur
+    }
+
+    /// Atomic `fetch_min`: monotone-tightening pattern used by cut
+    /// publication.
+    pub fn fetch_min(&mut self, tid: usize, v: u64) -> u64 {
+        let cur = self.latest();
+        self.store(tid, cur.min(v));
+        cur
+    }
+
+    /// The newest value (for end-of-scenario assertions, where every
+    /// modeled thread has quiesced).
+    pub fn latest(&self) -> u64 {
+        // The constructor seeds one entry, so the history is never empty.
+        self.hist.last().copied().unwrap_or_default()
+    }
+
+    /// Every value the cell ever held, oldest first.
+    pub fn history(&self) -> &[u64] {
+        &self.hist
+    }
+}
+
+/// A modeled non-reentrant mutex. The scenario's scheduler loop must only
+/// step threads for which `try_lock` succeeds (or that are not waiting),
+/// which models blocking without OS threads.
+#[derive(Debug, Default)]
+pub struct ModelMutex {
+    owner: Option<usize>,
+}
+
+impl ModelMutex {
+    /// An unlocked mutex.
+    pub fn new() -> ModelMutex {
+        ModelMutex::default()
+    }
+
+    /// Attempts to acquire for `tid`; re-acquisition panics (that is C1's
+    /// self-deadlock, a scenario bug).
+    pub fn try_lock(&mut self, tid: usize) -> bool {
+        match self.owner {
+            None => {
+                self.owner = Some(tid);
+                true
+            }
+            Some(o) => {
+                assert_ne!(o, tid, "thread {tid} re-locking a held model mutex");
+                false
+            }
+        }
+    }
+
+    /// Releases the mutex; must be held by `tid`.
+    pub fn unlock(&mut self, tid: usize) {
+        assert_eq!(self.owner, Some(tid), "unlock by non-owner");
+        self.owner = None;
+    }
+
+    /// Whether anyone holds the mutex.
+    pub fn locked(&self) -> bool {
+        self.owner.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn two_thread_two_step_interleavings_are_exhaustive() {
+        // Pure scheduling, no memory nondeterminism: interleavings of
+        // AABB = C(4,2) = 6 schedules.
+        let runs = explore(|s| {
+            let mut pc = [0usize; 2];
+            loop {
+                let runnable: Vec<usize> = (0..2).filter(|&t| pc[t] < 2).collect();
+                if runnable.is_empty() {
+                    break;
+                }
+                let t = runnable[s.choose(runnable.len())];
+                pc[t] += 1;
+            }
+        });
+        assert_eq!(runs, 6);
+    }
+
+    #[test]
+    fn lost_update_is_found_and_atomic_rmw_is_not() {
+        // Non-atomic load;store increments CAN lose an update; the
+        // explorer must find both outcomes.
+        let mut finals: BTreeSet<u64> = BTreeSet::new();
+        explore(|s| {
+            let mut cell = RelaxedCell::new(2, 0);
+            let mut pc = [0usize; 2];
+            let mut tmp = [0u64; 2];
+            loop {
+                let runnable: Vec<usize> = (0..2).filter(|&t| pc[t] < 2).collect();
+                if runnable.is_empty() {
+                    break;
+                }
+                let t = runnable[s.choose(runnable.len())];
+                if pc[t] == 0 {
+                    tmp[t] = cell.load(t, s);
+                } else {
+                    cell.store(t, tmp[t] + 1);
+                }
+                pc[t] += 1;
+            }
+            finals.insert(cell.latest());
+        });
+        assert_eq!(finals, BTreeSet::from([1, 2]));
+
+        // fetch_add never loses an update.
+        let mut finals: BTreeSet<u64> = BTreeSet::new();
+        explore(|s| {
+            let mut cell = RelaxedCell::new(2, 0);
+            let mut pc = [0usize; 2];
+            loop {
+                let runnable: Vec<usize> = (0..2).filter(|&t| pc[t] < 1).collect();
+                if runnable.is_empty() {
+                    break;
+                }
+                let t = runnable[s.choose(runnable.len())];
+                cell.fetch_add(t, 1);
+                pc[t] += 1;
+            }
+            finals.insert(cell.latest());
+        });
+        assert_eq!(finals, BTreeSet::from([2]));
+    }
+
+    #[test]
+    fn relaxed_loads_are_stale_but_coherent() {
+        // Writer stores 1 then 2; reader loads twice. Across all
+        // schedules the reader may observe stale values, but its two
+        // observations never go backwards (per-thread coherence).
+        let mut pairs: BTreeSet<(u64, u64)> = BTreeSet::new();
+        explore(|s| {
+            let mut cell = RelaxedCell::new(2, 0);
+            let mut pc = [0usize; 2];
+            let mut seen = [0u64; 2];
+            loop {
+                let runnable: Vec<usize> = (0..2).filter(|&t| pc[t] < 2).collect();
+                if runnable.is_empty() {
+                    break;
+                }
+                let t = runnable[s.choose(runnable.len())];
+                if t == 0 {
+                    cell.store(0, pc[0] as u64 + 1);
+                } else {
+                    seen[pc[1]] = cell.load(1, s);
+                }
+                pc[t] += 1;
+            }
+            pairs.insert((seen[0], seen[1]));
+        });
+        for &(a, b) in &pairs {
+            assert!(a <= b, "reader view went backwards: {a} then {b}");
+        }
+        assert!(pairs.contains(&(0, 0)), "fully stale view must be reachable");
+        assert!(pairs.contains(&(2, 2)), "fully fresh view must be reachable");
+        assert!(pairs.contains(&(0, 2)), "mixed view must be reachable");
+    }
+
+    #[test]
+    fn model_mutex_provides_mutual_exclusion() {
+        // Two threads each do lock; work; unlock. The critical sections
+        // never overlap, in every schedule.
+        explore(|s| {
+            let mut m = ModelMutex::new();
+            let mut pc = [0usize; 2];
+            let mut in_cs = [false; 2];
+            loop {
+                let runnable: Vec<usize> = (0..2)
+                    .filter(|&t| pc[t] < 3 && !(pc[t] == 0 && m.locked() && !in_cs[t]))
+                    .collect();
+                if runnable.is_empty() {
+                    assert!(pc.iter().all(|&p| p == 3), "deadlock");
+                    break;
+                }
+                let t = runnable[s.choose(runnable.len())];
+                match pc[t] {
+                    0 => {
+                        assert!(m.try_lock(t));
+                        in_cs[t] = true;
+                    }
+                    1 => {
+                        assert!(!in_cs[1 - t], "both threads in the critical section");
+                    }
+                    _ => {
+                        m.unlock(t);
+                        in_cs[t] = false;
+                    }
+                }
+                pc[t] += 1;
+            }
+        });
+    }
+
+    #[test]
+    fn fetch_min_is_monotone() {
+        let mut cell = RelaxedCell::new(1, 100);
+        cell.fetch_min(0, 40);
+        cell.fetch_min(0, 70);
+        assert_eq!(cell.latest(), 40);
+        assert!(cell.history().windows(2).all(|w| w[1] <= w[0]));
+    }
+}

@@ -110,7 +110,7 @@ fn fixture_diagnostics_match_annotations_exactly() {
 #[test]
 fn fixture_counts_cover_every_rule() {
     let report = analyze(&fixture_root()).expect("fixture analysis succeeds");
-    // The fixture exercises all five rules; none may report zero, or the
+    // The fixture exercises every rule; none may report zero, or the
     // fixture has silently stopped covering that rule.
     for rule in RuleId::ALL {
         assert!(
@@ -125,6 +125,23 @@ fn fixture_counts_cover_every_rule() {
         4,
         "unexpected D2 total — suppression or test-region masking regressed"
     );
+}
+
+#[test]
+fn fixture_json_counts_snapshot() {
+    // Pins the `--json` counts block for the fixture tree. A drift here
+    // means a rule's coverage changed without the fixture (and this
+    // snapshot) being updated deliberately.
+    let report = analyze(&fixture_root()).expect("fixture analysis succeeds");
+    let json = render_json(&report.diagnostics, &report.counts);
+    for (rule, n) in
+        [("D1", 7), ("D2", 4), ("D3", 5), ("D4", 1), ("D5", 3), ("C1", 5), ("C2", 6), ("C3", 2)]
+    {
+        assert!(
+            json.contains(&format!("\"{rule}\": {n}")),
+            "fixture {rule} count drifted from {n}:\n{json}"
+        );
+    }
 }
 
 #[test]

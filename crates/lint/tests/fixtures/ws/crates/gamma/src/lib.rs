@@ -1,0 +1,63 @@
+#![forbid(unsafe_code)]
+//! Fixture concurrency crate: lock-order cycles (direct and through a
+//! call), RwLock participation, re-acquisition, and the two non-cases a
+//! correct C1 must stay silent on (consistent order everywhere,
+//! statement-scoped temporary guards).
+
+use std::sync::{Mutex, RwLock};
+
+pub mod tally;
+
+pub struct State {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+    r: RwLock<u32>,
+}
+
+impl State {
+    pub fn ab(&self) {
+        let _g = self.a.lock();
+        let _h = self.b.lock(); //~ ERROR C1
+    }
+
+    pub fn ba(&self) {
+        let _g = self.b.lock();
+        let _h = self.a.lock(); //~ ERROR C1
+    }
+
+    pub fn reenter(&self) {
+        let _g = self.a.lock();
+        let _h = self.a.lock(); //~ ERROR C1
+    }
+
+    pub fn read_then_a(&self) {
+        let _g = self.r.read();
+        self.take_a(); //~ ERROR C1
+    }
+
+    fn take_a(&self) {
+        let _g = self.a.lock();
+    }
+
+    pub fn a_then_write(&self) {
+        let _g = self.a.lock();
+        let _h = self.r.write(); //~ ERROR C1
+    }
+
+    pub fn statement_scoped(&self) {
+        *self.b.lock() += 1;
+        let _g = self.a.lock(); // the `b` guard died at its `;`: no edge
+    }
+}
+
+pub struct Ordered {
+    first: Mutex<u32>,
+    second: Mutex<u32>,
+}
+
+impl Ordered {
+    pub fn in_order(&self) {
+        let _g = self.first.lock();
+        let _h = self.second.lock(); // one consistent order: acyclic, clean
+    }
+}

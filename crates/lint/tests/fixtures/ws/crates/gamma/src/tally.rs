@@ -1,0 +1,29 @@
+//! Fixture C3 file: lossy narrowing casts and unchecked accumulation on
+//! counter-named lvalues, next to the shapes that must stay legal.
+
+pub struct Tally {
+    pub rows_seen: u64,
+}
+
+pub fn clip(x: u64) -> u16 {
+    x as u16 //~ ERROR C3
+}
+
+pub fn widen(x: u32) -> u64 {
+    x as u64 // widening: lossless, legal
+}
+
+pub fn account(t: &mut Tally, n: u64) {
+    t.rows_seen += n; //~ ERROR C3
+    let mut idx = 0usize;
+    idx += 1; // not a counter name: legal
+    let _ = idx;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_regions_are_exempt() {
+        let _ = 300u64 as u8;
+    }
+}

@@ -5,10 +5,23 @@
 //! These files are lexed by the lint engine but never compiled, so the
 //! free functions below don't need to resolve.
 
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
+
+static HITS: AtomicU64 = AtomicU64::new(0);
+static READY: AtomicBool = AtomicBool::new(false);
+static WIDTH: AtomicU64 = AtomicU64::new(0);
+static ORPHAN: AtomicU64 = AtomicU64::new(0); //~ ERROR C2
 
 pub fn now() -> Instant {
     Instant::now() // allowed: crates/obs is the wall-clock seam
+}
+
+pub fn bump() -> u64 {
+    READY.store(true, Ordering::SeqCst); //~ ERROR C2
+    ORPHAN.fetch_add(1, Ordering::Relaxed); // unregistered: reported at its decl
+    WIDTH.store(640, Ordering::Relaxed); // conforming relaxed-config op
+    HITS.fetch_add(1, Ordering::Relaxed) // conforming relaxed-counter op
 }
 
 pub fn record() {

@@ -117,14 +117,15 @@ pub struct RegistrySnapshot {
 }
 
 impl RegistrySnapshot {
-    /// Compact JSON.
+    /// Compact JSON. Serialization of this plain-data tree cannot fail;
+    /// an error maps to the empty document rather than a panic.
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("snapshot serialization is infallible")
+        serde_json::to_string(self).unwrap_or_default()
     }
 
     /// Pretty-printed JSON.
     pub fn to_json_pretty(&self) -> String {
-        serde_json::to_string_pretty(self).expect("snapshot serialization is infallible")
+        serde_json::to_string_pretty(self).unwrap_or_default()
     }
 
     /// Prometheus text exposition format (metric names have '.' rewritten

@@ -251,7 +251,9 @@ pub fn chrome_trace_json() -> String {
         ("displayTimeUnit".into(), Value::Str("ms".into())),
         ("traceEvents".into(), Value::Array(rendered)),
     ]);
-    serde_json::to_string_pretty(&doc).expect("trace serialization is infallible")
+    // Plain-data value tree: serialization cannot fail, and an error maps
+    // to the empty document rather than a panic inside the tracer.
+    serde_json::to_string_pretty(&doc).unwrap_or_default()
 }
 
 #[cfg(test)]

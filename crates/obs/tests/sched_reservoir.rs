@@ -1,0 +1,222 @@
+//! Exhaustive schedule exploration of the session-trace reservoir's
+//! offer / cut-publish protocol (`crates/obs/src/session_trace.rs`).
+//!
+//! The production fast path rejects completing sessions against
+//! `FAST_CUT_*` — relaxed mirrors of the reservoir cut that are written
+//! under the collector mutex but read without it, so readers may observe
+//! arbitrarily stale values. The claimed invariant is that staleness is
+//! *sound*: the cut only ever tightens, so a candidate past **any**
+//! historical cut is also past the final cut and can never belong to the
+//! final kept set. These tests model the protocol over the
+//! [`vmp_lint::sched`] harness and check that claim across **every**
+//! interleaving and every coherence-permitted stale read — plus a
+//! negative test proving the harness can still see the bug when the
+//! invariant is deliberately broken.
+//!
+//! Model simplifications (none affect the property): every trace costs
+//! one budget unit; the reservoir key is a `(class, mix)` pair with
+//! class 0 = anomalous sorting first (matching `reservoir_key`); head
+//! sampling is folded into "every modeled session is a candidate".
+
+use std::collections::BTreeSet;
+
+use vmp_lint::sched::{explore, ModelMutex, RelaxedCell, Sched};
+
+/// One modeled session: its anomaly class (0 = anomalous, 1 = normal)
+/// and salted reservoir mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Key {
+    class: u8,
+    mix: u64,
+}
+
+const NO_CUT: u64 = u64::MAX;
+
+/// The exact reservoir, as maintained under the collector mutex:
+/// budget-prefix kept set plus the monotonically tightening cut
+/// (mirrors `TraceCollector::insert`'s evict-and-tighten loop).
+#[derive(Debug)]
+struct ExactReservoir {
+    kept: BTreeSet<Key>,
+    cut: Option<Key>,
+    budget: usize,
+}
+
+impl ExactReservoir {
+    fn new(budget: usize) -> ExactReservoir {
+        ExactReservoir { kept: BTreeSet::new(), cut: None, budget }
+    }
+
+    /// The locked slow path: exact re-check against the cut, insert,
+    /// evict from the top while over budget, tighten the cut.
+    fn offer(&mut self, key: Key) {
+        if self.cut.is_some_and(|cut| key >= cut) {
+            return;
+        }
+        self.kept.insert(key);
+        while self.kept.len() > self.budget {
+            let Some(evicted) = self.kept.pop_last() else { break };
+            self.cut = Some(match self.cut {
+                Some(cut) => evicted.min(cut),
+                None => evicted,
+            });
+        }
+    }
+
+    /// Mirrors the cut into the per-class fast bounds, exactly as the
+    /// armed collector does: an anomalous-class cut bounds anomalous
+    /// candidates by its mix and dooms every normal candidate (bound 0);
+    /// a normal-class cut bounds normal candidates only.
+    fn publish(&self, tid: usize, anom: &mut RelaxedCell, norm: &mut RelaxedCell) {
+        if let Some(cut) = self.cut {
+            if cut.class == 0 {
+                anom.store(tid, cut.mix);
+                norm.store(tid, 0);
+            } else {
+                norm.store(tid, cut.mix);
+            }
+        }
+    }
+}
+
+/// What one full run of the protocol produced.
+#[derive(Debug)]
+struct Outcome {
+    kept: BTreeSet<Key>,
+    fast_dropped: Vec<Key>,
+}
+
+/// Drives `threads` (each a per-thread list of sessions to complete)
+/// through the gate/lock/offer protocol under the given schedule. With
+/// `buggy_gate`, anomalous candidates consult the *normal* bound — the
+/// deliberate cross-class bug for the negative test.
+fn run_protocol(s: &mut Sched, threads: &[&[Key]], budget: usize, buggy_gate: bool) -> Outcome {
+    let n = threads.len();
+    let mut anom = RelaxedCell::new(n, NO_CUT);
+    let mut norm = RelaxedCell::new(n, NO_CUT);
+    let mut mutex = ModelMutex::new();
+    let mut exact = ExactReservoir::new(budget);
+    let mut fast_dropped = Vec::new();
+
+    // Per-thread program counter: (session index, phase). Phases:
+    // 0 = read the fast bound and decide, 1 = acquire the collector
+    // mutex, 2 = offer + publish + unlock.
+    let mut si = vec![0usize; n];
+    let mut phase = vec![0u8; n];
+    loop {
+        let runnable: Vec<usize> = (0..n)
+            .filter(|&t| si[t] < threads[t].len() && !(phase[t] == 1 && mutex.locked()))
+            .collect();
+        if runnable.is_empty() {
+            assert!(!mutex.locked(), "protocol ended with the mutex held");
+            break;
+        }
+        let t = runnable[s.choose(runnable.len())];
+        let key = threads[t][si[t]];
+        match phase[t] {
+            0 => {
+                let gate_class = if buggy_gate { 1 - key.class } else { key.class };
+                let bound =
+                    if gate_class == 0 { anom.load(t, s) } else { norm.load(t, s) };
+                if key.mix <= bound {
+                    phase[t] = 1;
+                } else {
+                    fast_dropped.push(key);
+                    si[t] += 1;
+                }
+            }
+            1 => {
+                assert!(mutex.try_lock(t));
+                phase[t] = 2;
+            }
+            _ => {
+                exact.offer(key);
+                exact.publish(t, &mut anom, &mut norm);
+                mutex.unlock(t);
+                phase[t] = 0;
+                si[t] += 1;
+            }
+        }
+    }
+    Outcome { kept: exact.kept, fast_dropped }
+}
+
+/// The offline definition the online protocol must reproduce: sort every
+/// candidate by reservoir key, keep the budget prefix.
+fn offline_reference(threads: &[&[Key]], budget: usize) -> BTreeSet<Key> {
+    let mut all: Vec<Key> = threads.iter().flat_map(|t| t.iter().copied()).collect();
+    all.sort();
+    all.into_iter().take(budget).collect()
+}
+
+fn k(class: u8, mix: u64) -> Key {
+    Key { class, mix }
+}
+
+/// Two completing threads race two sessions each against a one-cut
+/// reservoir. Across every interleaving and every stale bound read, the
+/// online kept set equals the offline budget prefix and nothing the fast
+/// gate dropped belonged in it.
+#[test]
+fn two_thread_eviction_matches_offline_reference() {
+    let threads: &[&[Key]] = &[&[k(1, 40), k(1, 10)], &[k(1, 30), k(1, 20)]];
+    let budget = 2;
+    let reference = offline_reference(threads, budget);
+    let runs = explore(|s| {
+        let out = run_protocol(s, threads, budget, false);
+        assert_eq!(out.kept, reference, "online kept set diverged from the offline cut");
+        for d in &out.fast_dropped {
+            assert!(
+                !reference.contains(d),
+                "fast gate dropped {d:?}, which belongs to the offline prefix"
+            );
+        }
+    });
+    assert!(runs > 100, "expected a non-trivial schedule space, got {runs}");
+}
+
+/// Three threads, mixed anomaly classes, budget 1: an anomalous-class
+/// cut must doom every normal candidate (the zero bound) without ever
+/// dropping a key the offline reference keeps.
+#[test]
+fn three_thread_mixed_classes_anomalous_cut_dooms_normals() {
+    let threads: &[&[Key]] = &[&[k(0, 50)], &[k(0, 60)], &[k(1, 10)]];
+    let budget = 1;
+    let reference = offline_reference(threads, budget);
+    assert_eq!(reference, BTreeSet::from([k(0, 50)]));
+    let mut saw_fast_drop = false;
+    let runs = explore(|s| {
+        let out = run_protocol(s, threads, budget, false);
+        assert_eq!(out.kept, reference, "online kept set diverged from the offline cut");
+        for d in &out.fast_dropped {
+            assert!(
+                !reference.contains(d),
+                "fast gate dropped {d:?}, which belongs to the offline prefix"
+            );
+        }
+        saw_fast_drop |= !out.fast_dropped.is_empty();
+    });
+    assert!(runs > 100, "expected a non-trivial schedule space, got {runs}");
+    assert!(saw_fast_drop, "no schedule exercised the lock-free fast drop");
+}
+
+/// Negative control: with the cross-class gate bug injected (anomalous
+/// candidates checked against the normal bound), the harness must find
+/// at least one schedule where a reference-prefix session is wrongly
+/// fast-dropped. If this stops failing, the harness lost its teeth.
+#[test]
+fn injected_cross_class_gate_bug_is_caught() {
+    let threads: &[&[Key]] = &[&[k(0, 50)], &[k(0, 60)], &[k(1, 10)]];
+    let budget = 1;
+    let reference = offline_reference(threads, budget);
+    let mut violations = 0u64;
+    explore(|s| {
+        let out = run_protocol(s, threads, budget, true);
+        if out.kept != reference
+            || out.fast_dropped.iter().any(|d| reference.contains(d))
+        {
+            violations += 1;
+        }
+    });
+    assert!(violations > 0, "injected gate bug survived every schedule");
+}

@@ -33,14 +33,18 @@ impl Summary {
             0.0
         };
         let mut sorted = values.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        // All values are finite, so total order and partial order agree.
+        sorted.sort_by(f64::total_cmp);
+        let (Some(&min), Some(&max)) = (sorted.first(), sorted.last()) else {
+            return None;
+        };
         Some(Summary {
             count,
             mean,
             std_dev: var.sqrt(),
-            min: sorted[0],
+            min,
             median: quantile_sorted(&sorted, 0.5),
-            max: sorted[count - 1],
+            max,
         })
     }
 }
@@ -110,14 +114,18 @@ impl Cdf {
         }
         let mut pairs: Vec<(f64, f64)> =
             values.iter().copied().zip(weights.iter().copied()).collect();
-        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        // Values are finite (checked above): total order agrees with
+        // partial order.
+        pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
         let mut xs = Vec::with_capacity(pairs.len());
         let mut ps = Vec::with_capacity(pairs.len());
         let mut acc = 0.0;
         for (x, w) in pairs {
             acc += w;
             if xs.last() == Some(&x) {
-                *ps.last_mut().expect("non-empty") = acc / total;
+                if let Some(p) = ps.last_mut() {
+                    *p = acc / total;
+                }
             } else {
                 xs.push(x);
                 ps.push(acc / total);
@@ -132,7 +140,7 @@ impl Cdf {
 
     /// `P(X <= x)`.
     pub fn at(&self, x: f64) -> f64 {
-        match self.xs.binary_search_by(|v| v.partial_cmp(&x).expect("finite")) {
+        match self.xs.binary_search_by(|v| v.total_cmp(&x)) {
             Ok(i) => {
                 // Find the last equal x (there can be only one by dedup).
                 self.ps[i]
@@ -150,7 +158,8 @@ impl Cdf {
                 return *x;
             }
         }
-        *self.xs.last().expect("cdf is non-empty")
+        // Construction guarantees a non-empty support.
+        self.xs.last().copied().unwrap_or(f64::NAN)
     }
 
     /// The distinct support points with their cumulative probabilities,
